@@ -1,0 +1,63 @@
+// Command epg-graphalytics runs the Graphalytics-methodology
+// comparator: one run per (platform, algorithm, dataset) cell with
+// each platform's own (inconsistent) time accounting, reproducing
+// Tables I and II and the per-platform HTML report of Fig. 7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/hpcl-repro/epg"
+)
+
+func main() {
+	datasetsFlag := flag.String("datasets", "cit-Patents,dota-league", "comma-separated datasets (Table I uses the real-world pair; pass kron-22 for Table II)")
+	threads := flag.Int("threads", 32, "virtual thread count")
+	divisor := flag.Int("divisor", 64, "real-world dataset scale divisor (1 = full size)")
+	seed := flag.Uint64("seed", 1, "seed")
+	htmlDir := flag.String("html", "", "write one HTML page per platform into this directory (Fig. 7)")
+	flag.Parse()
+
+	s := epg.NewSuite(epg.Options{RealWorldDivisor: *divisor, Seed: *seed})
+	var all []epg.GraphalyticsCell
+	for _, name := range strings.Split(*datasetsFlag, ",") {
+		name = strings.TrimSpace(name)
+		g, err := s.Dataset(name)
+		if err != nil {
+			fatal(err)
+		}
+		cells, err := s.Graphalytics(g, *threads)
+		if err != nil {
+			fatal(err)
+		}
+		all = append(all, cells...)
+	}
+
+	title := fmt.Sprintf("Graphalytics sample run times (seconds), %d threads, one run per experiment", *threads)
+	epg.RenderGraphalyticsTable(os.Stdout, title, all)
+
+	if *htmlDir != "" {
+		for _, platform := range []string{"GraphBIG", "PowerGraph", "GraphMat"} {
+			path := filepath.Join(*htmlDir, "graphalytics-"+strings.ToLower(platform)+".html")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := epg.RenderGraphalyticsHTML(f, platform, all); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "epg-graphalytics: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+// Command epg-power reproduces the paper's power and energy study:
+// Table III (time, average power, energy, sleep baseline, increase
+// over sleep, per BFS root) and Fig. 9 (CPU and RAM power box plots),
+// using the RAPL-analogue energy model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hpcl-repro/epg"
+)
+
+func main() {
+	dataset := flag.String("dataset", "kron-16", "dataset (the paper uses kron-22)")
+	threads := flag.Int("threads", 32, "virtual thread count")
+	roots := flag.Int("roots", 32, "BFS roots")
+	seed := flag.Uint64("seed", 1, "seed")
+	flag.Parse()
+
+	s := epg.NewSuite(epg.Options{Seed: *seed})
+	g, err := s.Dataset(*dataset)
+	if err != nil {
+		fatal(err)
+	}
+	results, err := s.Run(epg.Spec{
+		Dataset:      *dataset,
+		Algorithm:    epg.BFS,
+		Threads:      *threads,
+		Roots:        *roots,
+		Seed:         *seed,
+		MeasurePower: true,
+	}, g)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("machine: %s\n", s.MachineName())
+	fmt.Printf("sleep baseline (10 s sleep): %.2f W\n\n", s.MeasureSleepBaseline(10))
+	s.RenderEnergyTable(os.Stdout, results)
+	fmt.Println()
+	s.RenderPowerFigure(os.Stdout, results)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "epg-power: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+// Quickstart: generate a Kronecker graph, run BFS on every engine
+// that provides it, and print the paper-style box-plot panel plus the
+// per-engine medians.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/hpcl-repro/epg"
+)
+
+func main() {
+	suite := epg.NewSuite()
+
+	// A scale-14 Kronecker graph: 16,384 vertices, ~262k edges —
+	// the Graph500 generator at laptop scale. The paper's headline
+	// runs use scale 22 on a 72-thread server; pass kron-22 here to
+	// reproduce them (expect minutes of runtime).
+	g, err := suite.Dataset("kron-14")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d vertices, %d edges (weighted=%v)\n\n",
+		g.NumVertices(), g.NumEdges(), g.Weighted())
+
+	results, err := suite.Run(epg.Spec{
+		Algorithm: epg.BFS,
+		Threads:   32, // virtual threads on the modeled Haswell node
+		Roots:     8,  // the paper uses 32
+	}, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	epg.RenderTimeFigure(os.Stdout, "BFS Time (modeled seconds, 32 threads)", results)
+	fmt.Println()
+	epg.RenderConstructionFigure(os.Stdout, "BFS Data Structure Construction", results)
+
+	fmt.Println("\nPer-engine TEPS (traversed edges per second):")
+	byEngine := map[string][]float64{}
+	for _, r := range results {
+		byEngine[r.Engine] = append(byEngine[r.Engine], r.TEPS())
+	}
+	for eng, teps := range byEngine {
+		mean := 0.0
+		for _, t := range teps {
+			mean += t
+		}
+		fmt.Printf("  %-10s %.3g\n", eng, mean/float64(len(teps)))
+	}
+}

@@ -1,0 +1,43 @@
+// scaling reproduces Figs. 5 and 6: the strong-scaling sweep of BFS
+// across thread counts {1, 2, 4, ..., 72} with four trials per point,
+// printing speedup and parallel efficiency per engine.
+//
+//	go run ./examples/scaling [-scale N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/hpcl-repro/epg"
+)
+
+func main() {
+	scale := flag.Int("scale", 14, "Kronecker scale (the paper uses 23)")
+	trials := flag.Int("trials", 4, "trials per point (the paper used 4)")
+	flag.Parse()
+
+	suite := epg.NewSuite()
+	name := fmt.Sprintf("kron-%d", *scale)
+	g, err := suite.Dataset(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	threads := []int{1, 2, 4, 8, 16, 32, 64, 72}
+	fmt.Printf("BFS strong scaling on %s (%d vertices, %d edges), threads %v\n\n",
+		name, g.NumVertices(), g.NumEdges(), threads)
+
+	series, err := suite.Sweep(epg.Spec{Algorithm: epg.BFS}, g, threads, *trials)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := epg.RenderScalingFigure(os.Stdout,
+		"Figs. 5/6: BFS speedup and parallel efficiency", series); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nThe paper's scale-23 findings to compare against: generally")
+	fmt.Println("poor scaling at this problem size; GAP the most scalable, with")
+	fmt.Println("GraphMat closing in at high thread counts.")
+}

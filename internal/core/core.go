@@ -1,0 +1,147 @@
+// Package core defines the experiment model of easy-parallel-graph-*:
+// the five framework phases, experiment specifications, root
+// selection, and the normalized result records every later stage
+// (parsing, analysis, reporting) consumes.
+package core
+
+import (
+	"fmt"
+
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/xrand"
+)
+
+// Phase names one of the five framework phases of the paper's Fig. 1.
+// Each corresponds to a single shell command in the original.
+type Phase string
+
+// The five phases.
+const (
+	PhaseInstall    Phase = "install"
+	PhaseHomogenize Phase = "homogenize"
+	PhaseRun        Phase = "run"
+	PhaseParse      Phase = "parse"
+	PhaseAnalyze    Phase = "analyze"
+)
+
+// Phases lists the framework phases in execution order.
+var Phases = []Phase{PhaseInstall, PhaseHomogenize, PhaseRun, PhaseParse, PhaseAnalyze}
+
+// DefaultRoots is the number of search roots per graph, following the
+// Graph500 specification the paper adopts (PageRank simply runs this
+// many times).
+const DefaultRoots = 32
+
+// Spec describes one experiment: a dataset, an algorithm, a set of
+// engines, and the execution parameters.
+type Spec struct {
+	// Dataset is a human-readable name ("kron-22", "dota-league").
+	Dataset string
+	// Algorithm to run.
+	Algorithm engines.Algorithm
+	// Engines by name; empty means every engine that supports the
+	// algorithm.
+	Engines []string
+	// Threads is the virtual thread count (the paper's headline
+	// configuration is 32).
+	Threads int
+	// Roots is the number of roots/trials; 0 means DefaultRoots.
+	Roots int
+	// Seed drives root selection.
+	Seed uint64
+	// MeasurePower enables RAPL-style metering per root.
+	MeasurePower bool
+}
+
+// NumRoots returns the effective root count.
+func (s Spec) NumRoots() int {
+	if s.Roots > 0 {
+		return s.Roots
+	}
+	return DefaultRoots
+}
+
+// Validate rejects malformed specs.
+func (s Spec) Validate() error {
+	if s.Dataset == "" {
+		return fmt.Errorf("core: spec missing dataset")
+	}
+	if s.Algorithm == "" {
+		return fmt.Errorf("core: spec missing algorithm")
+	}
+	if s.Threads < 1 {
+		return fmt.Errorf("core: spec needs threads >= 1, got %d", s.Threads)
+	}
+	return nil
+}
+
+// SelectRoots picks count distinct search roots with degree greater
+// than one, as the Graph500 specification requires. Selection is
+// deterministic in the seed. If the graph has fewer qualifying
+// vertices than requested, all of them are returned.
+func SelectRoots(csr *graph.CSR, count int, seed uint64) []graph.VID {
+	var candidates []graph.VID
+	for v := 0; v < csr.NumVertices; v++ {
+		if csr.Degree(graph.VID(v)) > 1 {
+			candidates = append(candidates, graph.VID(v))
+		}
+	}
+	if len(candidates) <= count {
+		return candidates
+	}
+	r := xrand.New(seed ^ 0x9007)
+	r.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	return candidates[:count]
+}
+
+// Result is one measured run: a single (engine, algorithm, root)
+// execution with its phase breakdown. Times are in seconds.
+type Result struct {
+	Engine    string
+	Dataset   string
+	Algorithm engines.Algorithm
+	Threads   int
+	Trial     int
+	Root      graph.VID
+
+	// Phase breakdown (modeled machine time). FileRead and
+	// Construction are zero for phases an engine does not expose
+	// separately; HasConstruction records whether Construction is
+	// meaningful (Figs. 2/3 omit engines without it).
+	FileReadSec     float64
+	ConstructionSec float64
+	AlgorithmSec    float64
+	HasConstruction bool
+
+	// WallSec is the real elapsed time of the algorithm phase in
+	// this process — reported alongside, never mixed with modeled
+	// time.
+	WallSec float64
+
+	// Algorithm-specific outputs.
+	Iterations    int   // PageRank/CDLP
+	EdgesExamined int64 // traversals (TEPS basis)
+
+	// Power metering (zero unless requested).
+	CPUJoules   float64
+	RAMJoules   float64
+	AvgCPUWatts float64
+	AvgRAMWatts float64
+}
+
+// TEPS returns traversed edges per second for traversal kernels, the
+// Graph500's figure of merit.
+func (r Result) TEPS() float64 {
+	if r.AlgorithmSec <= 0 || r.EdgesExamined <= 0 {
+		return 0
+	}
+	return float64(r.EdgesExamined) / r.AlgorithmSec
+}
+
+// Key returns a stable grouping key for analysis.
+func (r Result) Key() string {
+	return fmt.Sprintf("%s/%s/%s/t%d", r.Dataset, r.Algorithm, r.Engine, r.Threads)
+}

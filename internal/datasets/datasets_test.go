@@ -1,0 +1,154 @@
+package datasets
+
+import (
+	"testing"
+
+	"github.com/hpcl-repro/epg/internal/graph"
+)
+
+func TestGenerateByName(t *testing.T) {
+	for _, name := range []Name{DotaLeague, CitPatents} {
+		el, err := Generate(name, Config{ScaleDivisor: 64, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := el.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", name, err)
+		}
+	}
+	if _, err := Generate("nope", Config{}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestDotaLeagueShape(t *testing.T) {
+	el := GenerateDotaLeague(Config{ScaleDivisor: 32, Seed: 7})
+	if !el.Weighted {
+		t.Error("dota-league must be weighted")
+	}
+	s := Describe("dota", el)
+	// Density character: far denser than typical graphs. The full
+	// graph has avg out-degree ~824; at divisor d the model keeps
+	// avg degree ~824/d, which must still exceed ~10 at divisor 32.
+	if s.AvgOutDegree < 10 {
+		t.Errorf("avg out-degree %.1f too sparse for dota analogue", s.AvgOutDegree)
+	}
+	for i, e := range el.Edges {
+		if e.W <= 0 || e.W > 1 {
+			t.Fatalf("edge %d weight %v outside (0,1]", i, e.W)
+		}
+	}
+}
+
+func TestDotaLeagueCommunityStructure(t *testing.T) {
+	// With 90% intra-community wiring, clustering must be visible:
+	// measure the fraction of edges inside the source's community
+	// by rebuilding the assignment with the same seed logic is
+	// internal, so instead check a weaker, observable property:
+	// the graph's edges concentrate on far fewer distinct pairs
+	// than uniform wiring would produce.
+	el := GenerateDotaLeague(Config{ScaleDivisor: 64, Seed: 7})
+	n := el.NumVertices
+	distinct := make(map[uint64]struct{}, len(el.Edges))
+	for _, e := range el.Edges {
+		distinct[uint64(e.Src)*uint64(n)+uint64(e.Dst)] = struct{}{}
+	}
+	frac := float64(len(distinct)) / float64(len(el.Edges))
+	// Uniform random wiring over n^2 pairs with m << n^2 would give
+	// frac ≈ 1. Community concentration should produce repeats.
+	if frac > 0.999 {
+		t.Errorf("distinct-pair fraction %.4f shows no community concentration", frac)
+	}
+}
+
+func TestCitPatentsShape(t *testing.T) {
+	el := GenerateCitPatents(Config{ScaleDivisor: 64, Seed: 3})
+	if el.Weighted {
+		t.Error("cit-Patents must be unweighted")
+	}
+	if !el.Directed {
+		t.Error("cit-Patents must be directed")
+	}
+	s := Describe("patents", el)
+	if s.AvgOutDegree < 1 || s.AvgOutDegree > 12 {
+		t.Errorf("avg out-degree %.1f outside citation-like range", s.AvgOutDegree)
+	}
+}
+
+func TestCitPatentsIsDAG(t *testing.T) {
+	el := GenerateCitPatents(Config{ScaleDivisor: 128, Seed: 5})
+	for i, e := range el.Edges {
+		if e.Dst >= e.Src {
+			t.Fatalf("edge %d: %d cites non-earlier %d", i, e.Src, e.Dst)
+		}
+	}
+}
+
+func TestCitPatentsInDegreeSkew(t *testing.T) {
+	el := GenerateCitPatents(Config{ScaleDivisor: 64, Seed: 5})
+	indeg := make([]int, el.NumVertices)
+	for _, e := range el.Edges {
+		indeg[e.Dst]++
+	}
+	max := 0
+	for _, d := range indeg {
+		if d > max {
+			max = d
+		}
+	}
+	avg := float64(len(el.Edges)) / float64(el.NumVertices)
+	if float64(max) < 10*avg {
+		t.Errorf("max in-degree %d only %.1fx average; preferential attachment not visible", max, float64(max)/avg)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := GenerateDotaLeague(Config{ScaleDivisor: 64, Seed: 9, Workers: 1})
+	b := GenerateDotaLeague(Config{ScaleDivisor: 64, Seed: 9, Workers: 4})
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("edge counts differ across workers")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs across worker counts", i)
+		}
+	}
+	c := GenerateCitPatents(Config{ScaleDivisor: 64, Seed: 9})
+	d := GenerateCitPatents(Config{ScaleDivisor: 64, Seed: 9})
+	for i := range c.Edges {
+		if c.Edges[i] != d.Edges[i] {
+			t.Fatalf("cit-Patents edge %d nondeterministic", i)
+		}
+	}
+}
+
+func TestFullSizeParametersPreserved(t *testing.T) {
+	// Don't generate the full graphs (too large for unit tests);
+	// verify the published constants used by divisor-1 math.
+	if DotaEdges/DotaVertices < 800 {
+		t.Error("Dota average degree constant drifted")
+	}
+	if PatentsEdges/PatentsVertices != 4 {
+		t.Error("Patents average degree constant drifted")
+	}
+}
+
+func TestBuildableIntoCSR(t *testing.T) {
+	el := GenerateCitPatents(Config{ScaleDivisor: 128, Seed: 2})
+	csr := graph.BuildCSR(el, graph.BuildOptions{Sort: true})
+	if err := csr.Validate(); err != nil {
+		t.Fatalf("CSR from cit-Patents invalid: %v", err)
+	}
+}
+
+func BenchmarkGenerateDota(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GenerateDotaLeague(Config{ScaleDivisor: 32, Seed: 1})
+	}
+}
+
+func BenchmarkGeneratePatents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GenerateCitPatents(Config{ScaleDivisor: 32, Seed: 1})
+	}
+}

@@ -1,0 +1,41 @@
+// Package all wires the five engine implementations into a registry.
+// It exists apart from package engines so the interface package does
+// not depend on its implementations.
+package all
+
+import (
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/engines/gap"
+	"github.com/hpcl-repro/epg/internal/engines/graph500"
+	"github.com/hpcl-repro/epg/internal/engines/graphbig"
+	"github.com/hpcl-repro/epg/internal/engines/graphmat"
+	"github.com/hpcl-repro/epg/internal/engines/powergraph"
+)
+
+// Names of the five systems, in the paper's presentation order.
+const (
+	Graph500   = "Graph500"
+	GAP        = "GAP"
+	GraphBIG   = "GraphBIG"
+	GraphMat   = "GraphMat"
+	PowerGraph = "PowerGraph"
+)
+
+// Names lists every engine in presentation order.
+var Names = []string{Graph500, GAP, GraphBIG, GraphMat, PowerGraph}
+
+// Registry returns a registry holding all five engines.
+func Registry() *engines.Registry {
+	r := engines.NewRegistry()
+	r.Register(Graph500, func() engines.Engine { return graph500.New() })
+	r.Register(GAP, func() engines.Engine { return gap.New() })
+	r.Register(GraphBIG, func() engines.Engine { return graphbig.New() })
+	r.Register(GraphMat, func() engines.Engine { return graphmat.New() })
+	r.Register(PowerGraph, func() engines.Engine { return powergraph.New() })
+	return r
+}
+
+// New returns the named engine from a fresh registry.
+func New(name string) (engines.Engine, error) {
+	return Registry().New(name)
+}

@@ -1,0 +1,361 @@
+// Conformance tests: every engine's every supported algorithm is
+// validated against the serial references on a range of graph shapes.
+package all
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/hpcl-repro/epg/internal/datasets"
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/kronecker"
+	"github.com/hpcl-repro/epg/internal/simmachine"
+	"github.com/hpcl-repro/epg/internal/verify"
+)
+
+type testGraph struct {
+	name string
+	el   *graph.EdgeList
+}
+
+func testGraphs(t testing.TB) []testGraph {
+	t.Helper()
+	return []testGraph{
+		{"kron10", kronecker.Generate(kronecker.Params{Scale: 10, Seed: 42})},
+		{"kron8", kronecker.Generate(kronecker.Params{Scale: 8, Seed: 7})},
+		{"dota-small", datasets.GenerateDotaLeague(datasets.Config{ScaleDivisor: 256, Seed: 3})},
+		{"patents-small", datasets.GenerateCitPatents(datasets.Config{ScaleDivisor: 2048, Seed: 3})},
+		{"path", pathGraph(64)},
+		{"two-components", twoComponents()},
+	}
+}
+
+func pathGraph(n int) *graph.EdgeList {
+	el := &graph.EdgeList{NumVertices: n, Weighted: true}
+	for i := 0; i < n-1; i++ {
+		el.Edges = append(el.Edges, graph.Edge{Src: graph.VID(i), Dst: graph.VID(i + 1), W: 0.25})
+	}
+	return el
+}
+
+func twoComponents() *graph.EdgeList {
+	el := &graph.EdgeList{NumVertices: 12, Weighted: true}
+	for i := 0; i < 5; i++ {
+		el.Edges = append(el.Edges, graph.Edge{Src: graph.VID(i), Dst: graph.VID(i + 1), W: 0.5})
+	}
+	for i := 6; i < 11; i++ {
+		el.Edges = append(el.Edges, graph.Edge{Src: graph.VID(i), Dst: graph.VID(i + 1), W: 0.5})
+	}
+	// Triangle inside the second component for LCC coverage.
+	el.Edges = append(el.Edges, graph.Edge{Src: 6, Dst: 8, W: 0.5})
+	return el
+}
+
+func newMachine() *simmachine.Machine {
+	return simmachine.New(simmachine.Haswell72(), 8)
+}
+
+// loadAll returns one prepared instance per engine for the graph.
+func loadAll(t *testing.T, el *graph.EdgeList) map[string]engines.Instance {
+	t.Helper()
+	out := make(map[string]engines.Instance)
+	reg := Registry()
+	for _, name := range Names {
+		eng, err := reg.New(name)
+		if err != nil {
+			t.Fatalf("new %s: %v", name, err)
+		}
+		inst, err := eng.Load(el, newMachine())
+		if err != nil {
+			t.Fatalf("%s load: %v", name, err)
+		}
+		inst.BuildStructure()
+		out[name] = inst
+	}
+	return out
+}
+
+func roots(p *verify.Prepared, count int) []graph.VID {
+	var rs []graph.VID
+	for v := 0; v < p.Out.NumVertices && len(rs) < count; v++ {
+		if p.Out.Degree(graph.VID(v)) > 1 {
+			rs = append(rs, graph.VID(v))
+		}
+	}
+	return rs
+}
+
+func TestRegistryHasFiveEngines(t *testing.T) {
+	reg := Registry()
+	if got := len(reg.Names()); got != 5 {
+		t.Fatalf("registry has %d engines, want 5", got)
+	}
+	if _, err := reg.New("Ligra"); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+func TestCapabilitiesMatchPaper(t *testing.T) {
+	reg := Registry()
+	want := map[string]map[engines.Algorithm]bool{
+		Graph500:   {engines.BFS: true},
+		GAP:        {engines.BFS: true, engines.SSSP: true, engines.PageRank: true, engines.WCC: true},
+		GraphBIG:   {engines.BFS: true, engines.SSSP: true, engines.PageRank: true, engines.CDLP: true, engines.LCC: true, engines.WCC: true},
+		GraphMat:   {engines.BFS: true, engines.SSSP: true, engines.PageRank: true, engines.CDLP: true, engines.LCC: true, engines.WCC: true},
+		PowerGraph: {engines.SSSP: true, engines.PageRank: true, engines.CDLP: true, engines.LCC: true, engines.WCC: true},
+	}
+	for name, caps := range want {
+		eng, err := reg.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range engines.AllAlgorithms {
+			if got := eng.Has(alg); got != caps[alg] {
+				t.Errorf("%s.Has(%s) = %v, want %v", name, alg, got, caps[alg])
+			}
+		}
+	}
+	// Construction phases per the paper: GraphBIG and PowerGraph
+	// build while reading.
+	sep := map[string]bool{Graph500: true, GAP: true, GraphMat: true, GraphBIG: false, PowerGraph: false}
+	for name, want := range sep {
+		eng, _ := reg.New(name)
+		if got := eng.SeparateConstruction(); got != want {
+			t.Errorf("%s.SeparateConstruction() = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestBFSConformance(t *testing.T) {
+	for _, tg := range testGraphs(t) {
+		t.Run(tg.name, func(t *testing.T) {
+			p := verify.Prepare(tg.el)
+			insts := loadAll(t, tg.el)
+			for _, root := range roots(p, 3) {
+				ref := verify.BFS(p, root)
+				for name, inst := range insts {
+					got, err := inst.BFS(root)
+					if errors.Is(err, engines.ErrUnsupported) {
+						continue
+					}
+					if err != nil {
+						t.Fatalf("%s BFS: %v", name, err)
+					}
+					if err := verify.ValidateBFS(p, got, ref); err != nil {
+						t.Errorf("%s root %d: %v", name, root, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSSSPConformance(t *testing.T) {
+	for _, tg := range testGraphs(t) {
+		if !tg.el.Weighted {
+			continue
+		}
+		t.Run(tg.name, func(t *testing.T) {
+			p := verify.Prepare(tg.el)
+			insts := loadAll(t, tg.el)
+			for _, root := range roots(p, 2) {
+				ref := verify.SSSP(p, root)
+				for name, inst := range insts {
+					got, err := inst.SSSP(root)
+					if errors.Is(err, engines.ErrUnsupported) {
+						continue
+					}
+					if err != nil {
+						t.Fatalf("%s SSSP: %v", name, err)
+					}
+					if err := verify.ValidateSSSP(p, got, ref); err != nil {
+						t.Errorf("%s root %d: %v", name, root, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSSSPUnsupportedOnUnweighted(t *testing.T) {
+	// cit-Patents is unweighted: SSSP must be N/A (Table I).
+	el := datasets.GenerateCitPatents(datasets.Config{ScaleDivisor: 4096, Seed: 1})
+	insts := loadAll(t, el)
+	for name, inst := range insts {
+		if name == Graph500 {
+			continue // BFS-only anyway
+		}
+		if _, err := inst.SSSP(0); !errors.Is(err, engines.ErrUnsupported) {
+			t.Errorf("%s SSSP on unweighted graph: err = %v, want ErrUnsupported", name, err)
+		}
+	}
+}
+
+func TestPageRankConformance(t *testing.T) {
+	tolerances := map[string]float64{
+		GAP:        1e-6,
+		PowerGraph: 1e-6,
+		GraphBIG:   5e-3, // float32 properties
+		GraphMat:   5e-3, // float32 properties
+	}
+	for _, tg := range testGraphs(t) {
+		t.Run(tg.name, func(t *testing.T) {
+			p := verify.Prepare(tg.el)
+			ref := verify.PageRank(p, engines.PROpts{})
+			insts := loadAll(t, tg.el)
+			for name, inst := range insts {
+				got, err := inst.PageRank(engines.PROpts{})
+				if errors.Is(err, engines.ErrUnsupported) {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("%s PR: %v", name, err)
+				}
+				if err := verify.ValidatePageRank(got, ref, tolerances[name]); err != nil {
+					t.Errorf("%s: %v", name, err)
+				}
+				if got.Iterations < 1 {
+					t.Errorf("%s: no iterations recorded", name)
+				}
+			}
+		})
+	}
+}
+
+func TestGraphMatRunsMoreIterations(t *testing.T) {
+	// The paper's Fig. 4 observation: GraphMat's run-until-no-change
+	// rule yields the most iterations. The ordering is a large-graph
+	// property (at tiny scales the global L1 budget is the stricter
+	// criterion), so this uses the largest quick-test scale.
+	el := kronecker.Generate(kronecker.Params{Scale: 13, Seed: 42})
+	insts := loadAll(t, el)
+	iters := map[string]int{}
+	for name, inst := range insts {
+		res, err := inst.PageRank(engines.PROpts{})
+		if errors.Is(err, engines.ErrUnsupported) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		iters[name] = res.Iterations
+	}
+	// Compare against the float64 L1-stopped engines, whose counts
+	// are stable. GraphBIG's float32 L1 wanders near the 6e-8
+	// threshold and can overshoot everyone at small scales, so it is
+	// excluded from the strict ordering (the paper's full ordering is
+	// a scale-22 observation; see EXPERIMENTS.md).
+	for _, other := range []string{GAP, PowerGraph} {
+		if iters[GraphMat] < iters[other] {
+			t.Errorf("GraphMat iterations (%d) below %s (%d)", iters[GraphMat], other, iters[other])
+		}
+	}
+}
+
+func TestCDLPConformance(t *testing.T) {
+	for _, tg := range testGraphs(t) {
+		t.Run(tg.name, func(t *testing.T) {
+			p := verify.Prepare(tg.el)
+			ref := verify.CDLP(p, engines.DefaultCDLPIterations)
+			insts := loadAll(t, tg.el)
+			for name, inst := range insts {
+				got, err := inst.CDLP(engines.DefaultCDLPIterations)
+				if errors.Is(err, engines.ErrUnsupported) {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("%s CDLP: %v", name, err)
+				}
+				if err := verify.ValidateCDLP(got, ref); err != nil {
+					t.Errorf("%s: %v", name, err)
+				}
+			}
+		})
+	}
+}
+
+func TestLCCConformance(t *testing.T) {
+	for _, tg := range testGraphs(t) {
+		t.Run(tg.name, func(t *testing.T) {
+			p := verify.Prepare(tg.el)
+			ref := verify.LCC(p)
+			insts := loadAll(t, tg.el)
+			for name, inst := range insts {
+				got, err := inst.LCC()
+				if errors.Is(err, engines.ErrUnsupported) {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("%s LCC: %v", name, err)
+				}
+				if err := verify.ValidateLCC(got, ref); err != nil {
+					t.Errorf("%s: %v", name, err)
+				}
+			}
+		})
+	}
+}
+
+func TestWCCConformance(t *testing.T) {
+	for _, tg := range testGraphs(t) {
+		t.Run(tg.name, func(t *testing.T) {
+			p := verify.Prepare(tg.el)
+			ref := verify.WCC(p)
+			insts := loadAll(t, tg.el)
+			for name, inst := range insts {
+				got, err := inst.WCC()
+				if errors.Is(err, engines.ErrUnsupported) {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("%s WCC: %v", name, err)
+				}
+				if err := verify.ValidateWCC(got, ref); err != nil {
+					t.Errorf("%s: %v", name, err)
+				}
+			}
+		})
+	}
+}
+
+// Model-time sanity: on the same graph at 32 virtual threads, GAP's
+// BFS must beat GraphBIG's and GraphMat's by a widening margin (the
+// paper's Table III shows ~85x at scale 22; the gap grows with scale,
+// so the bound here is scaled to the small test graph).
+func TestBFSRelativeSpeedShape(t *testing.T) {
+	el := kronecker.Generate(kronecker.Params{Scale: 14, Seed: 11})
+	p := verify.Prepare(el)
+	root := roots(p, 1)[0]
+	times := map[string]float64{}
+	reg := Registry()
+	for _, name := range []string{GAP, Graph500, GraphBIG, GraphMat} {
+		eng, _ := reg.New(name)
+		m := simmachine.New(simmachine.Haswell72(), 32)
+		inst, err := eng.Load(el, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.BuildStructure()
+		start := m.Elapsed()
+		if _, err := inst.BFS(root); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		times[name] = m.Elapsed() - start
+	}
+	if times[GAP] <= 0 {
+		t.Fatal("no modeled time accrued")
+	}
+	for _, slow := range []string{GraphBIG, GraphMat} {
+		if ratio := times[slow] / times[GAP]; ratio < 3 {
+			t.Errorf("%s/GAP BFS ratio = %.1f, want >= 3 at scale 14", slow, ratio)
+		}
+	}
+	// Graph500 sits between GAP and the frameworks.
+	if ratio := times[Graph500] / times[GAP]; ratio > 10 || ratio < 0.5 {
+		t.Errorf("Graph500/GAP ratio = %.2f, want in [0.5, 10]", ratio)
+	}
+	fmt.Printf("BFS modeled times at 32 threads (scale 14): GAP=%.4gs G500=%.4gs GraphBIG=%.4gs GraphMat=%.4gs\n",
+		times[GAP], times[Graph500], times[GraphBIG], times[GraphMat])
+}

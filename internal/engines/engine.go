@@ -1,0 +1,224 @@
+// Package engines defines the common interface that the five graph
+// processing systems implement, together with normalized result types.
+//
+// Each engine package (graph500, gap, graphbig, graphmat, powergraph)
+// reproduces the architectural character of the corresponding system
+// from the paper: its storage layout, parallelization strategy,
+// algorithmic variants, and floating-point precision. The shared
+// interface is what the paper's framework relies on: homogeneous
+// inputs, homogeneous stopping criteria, and separately measurable
+// execution phases.
+package engines
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/simmachine"
+)
+
+// Algorithm names one of the study's kernels.
+type Algorithm string
+
+// The three primary algorithms plus the three Graphalytics extras.
+const (
+	BFS      Algorithm = "BFS"
+	SSSP     Algorithm = "SSSP"
+	PageRank Algorithm = "PR"
+	CDLP     Algorithm = "CDLP"
+	LCC      Algorithm = "LCC"
+	WCC      Algorithm = "WCC"
+)
+
+// AllAlgorithms lists every kernel in report order.
+var AllAlgorithms = []Algorithm{BFS, CDLP, LCC, PageRank, SSSP, WCC}
+
+// NoParent marks unreachable vertices in BFS/SSSP parent arrays.
+const NoParent = int64(-1)
+
+// BFSResult is a parent tree. Parent[v] == NoParent means v was not
+// reached; Parent[root] == root. Depth carries BFS levels.
+type BFSResult struct {
+	Root   graph.VID
+	Parent []int64
+	Depth  []int64 // -1 for unreached
+	// EdgesExamined is the engine's own count of edge inspections,
+	// the basis for TEPS reporting.
+	EdgesExamined int64
+}
+
+// SSSPResult holds tentative distances; unreachable vertices have
+// +Inf. Engines that compute in float32 widen to float64.
+type SSSPResult struct {
+	Root   graph.VID
+	Dist   []float64
+	Parent []int64
+	// Relaxations counts edge relaxation attempts.
+	Relaxations int64
+}
+
+// PROpts holds the homogenized PageRank configuration from the paper:
+// damping 0.85 and the L1-norm stopping criterion with epsilon 6e-8
+// (approximately float32 machine epsilon). Engines whose original
+// semantics differ (GraphMat's run-until-no-change) keep those
+// semantics, exactly as the paper describes.
+type PROpts struct {
+	Damping float64
+	Epsilon float64
+	MaxIter int
+}
+
+// DefaultPROpts mirrors the paper's homogenized configuration.
+func DefaultPROpts() PROpts {
+	return PROpts{Damping: 0.85, Epsilon: 6e-8, MaxIter: 300}
+}
+
+func (o PROpts) withDefaults() PROpts {
+	d := DefaultPROpts()
+	if o.Damping == 0 {
+		o.Damping = d.Damping
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = d.Epsilon
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = d.MaxIter
+	}
+	return o
+}
+
+// Normalize fills zero fields with defaults.
+func (o PROpts) Normalize() PROpts { return o.withDefaults() }
+
+// PRResult holds final scores (sum ≈ 1) and the iteration count the
+// paper compares in Fig. 4.
+type PRResult struct {
+	Rank       []float64
+	Iterations int
+}
+
+// CDLPResult holds per-vertex community labels after synchronous
+// label propagation with minimum-label tie-breaking.
+type CDLPResult struct {
+	Label      []graph.VID
+	Iterations int
+}
+
+// LCCResult holds per-vertex local clustering coefficients.
+type LCCResult struct {
+	Coeff []float64
+}
+
+// WCCResult holds per-vertex component IDs, canonicalized to the
+// minimum vertex ID in each component.
+type WCCResult struct {
+	Component []graph.VID
+}
+
+// Instance is a loaded graph inside one engine, bound to a machine.
+// Run methods may be called repeatedly (e.g., 32 roots); instances are
+// not safe for concurrent use.
+type Instance interface {
+	// BuildStructure performs the separately-timed data structure
+	// construction phase. Engines that construct while reading
+	// (GraphBIG, PowerGraph) perform the work in Load and make this
+	// a no-op; callers can detect that via Engine.SeparateConstruction.
+	BuildStructure()
+
+	BFS(root graph.VID) (*BFSResult, error)
+	SSSP(root graph.VID) (*SSSPResult, error)
+	PageRank(opts PROpts) (*PRResult, error)
+	CDLP(maxIter int) (*CDLPResult, error)
+	LCC() (*LCCResult, error)
+	WCC() (*WCCResult, error)
+}
+
+// Engine is one of the five systems under study.
+type Engine interface {
+	Name() string
+	// Has reports whether the engine provides a reference
+	// implementation of alg (PowerGraph famously lacks BFS).
+	Has(alg Algorithm) bool
+	// SeparateConstruction reports whether graph construction is a
+	// distinct, separately-timed phase.
+	SeparateConstruction() bool
+	// Load ingests the in-RAM edge list. For engines without a
+	// separate construction phase this includes building the
+	// structure (charged to the machine).
+	Load(el *graph.EdgeList, m *simmachine.Machine) (Instance, error)
+}
+
+// ErrUnsupported is returned by instances for algorithms the engine
+// does not provide.
+var ErrUnsupported = fmt.Errorf("engines: algorithm not provided by this engine")
+
+// Registry maps engine names to constructors, in the paper's order.
+type Registry struct {
+	names    []string
+	builders map[string]func() Engine
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{builders: make(map[string]func() Engine)}
+}
+
+// Register adds a constructor; duplicate names panic (programmer
+// error at init time).
+func (r *Registry) Register(name string, f func() Engine) {
+	if _, dup := r.builders[name]; dup {
+		panic("engines: duplicate registration of " + name)
+	}
+	r.names = append(r.names, name)
+	r.builders[name] = f
+}
+
+// Names returns registered engine names in registration order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.names))
+	copy(out, r.names)
+	return out
+}
+
+// New builds the named engine.
+func (r *Registry) New(name string) (Engine, error) {
+	f, ok := r.builders[name]
+	if !ok {
+		known := make([]string, len(r.names))
+		copy(known, r.names)
+		sort.Strings(known)
+		return nil, fmt.Errorf("engines: unknown engine %q (have %v)", name, known)
+	}
+	return f(), nil
+}
+
+// RunAlgorithm dispatches alg on inst with homogenized defaults,
+// returning an opaque result for logging and a size metric
+// (iterations for PR, reached vertices for traversals) used in logs.
+func RunAlgorithm(inst Instance, alg Algorithm, root graph.VID) (any, error) {
+	switch alg {
+	case BFS:
+		return inst.BFS(root)
+	case SSSP:
+		return inst.SSSP(root)
+	case PageRank:
+		return inst.PageRank(DefaultPROpts())
+	case CDLP:
+		return inst.CDLP(DefaultCDLPIterations)
+	case LCC:
+		return inst.LCC()
+	case WCC:
+		return inst.WCC()
+	default:
+		return nil, fmt.Errorf("engines: unknown algorithm %q", alg)
+	}
+}
+
+// DefaultCDLPIterations matches the Graphalytics default for
+// community detection by label propagation.
+const DefaultCDLPIterations = 10
+
+// InfDist is the distance assigned to unreachable vertices.
+var InfDist = math.Inf(1)

@@ -1,0 +1,114 @@
+package gap
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/verify"
+)
+
+func TestTriangleCountKnownGraph(t *testing.T) {
+	// Two triangles sharing edge 1-2: {0,1,2} and {1,2,3}.
+	el := &graph.EdgeList{
+		NumVertices: 4,
+		Weighted:    true,
+		Edges: []graph.Edge{
+			{Src: 0, Dst: 1, W: 1}, {Src: 1, Dst: 2, W: 1}, {Src: 2, Dst: 0, W: 1},
+			{Src: 1, Dst: 3, W: 1}, {Src: 2, Dst: 3, W: 1},
+		},
+	}
+	inst := load(t, New(), el, 4)
+	got, err := inst.TriangleCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("triangles = %d, want 2", got)
+	}
+}
+
+func TestTriangleCountMatchesReference(t *testing.T) {
+	el := kron(10, 21)
+	p := verify.Prepare(el)
+	want := verify.TriangleCount(p)
+	inst := load(t, New(), el, 8)
+	got, err := inst.TriangleCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("triangles = %d, reference %d", got, want)
+	}
+	if want == 0 {
+		t.Error("test graph has no triangles; pick a denser seed")
+	}
+}
+
+func TestTriangleCountRejectsDirected(t *testing.T) {
+	el := &graph.EdgeList{NumVertices: 3, Directed: true,
+		Edges: []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}}
+	inst := load(t, New(), el, 2)
+	if _, err := inst.TriangleCount(); err == nil {
+		t.Error("directed graph accepted")
+	}
+}
+
+func TestBetweennessCentralityPath(t *testing.T) {
+	// Path 0-1-2-3-4: unnormalized BC from all sources is
+	// 2*(k*(n-1-k)) pairs... just compare with the reference.
+	el := &graph.EdgeList{NumVertices: 5, Weighted: true}
+	for i := 0; i < 4; i++ {
+		el.Edges = append(el.Edges, graph.Edge{Src: graph.VID(i), Dst: graph.VID(i + 1), W: 1})
+	}
+	p := verify.Prepare(el)
+	sources := []graph.VID{0, 1, 2, 3, 4}
+	want := verify.BetweennessCentrality(p, sources)
+	inst := load(t, New(), el, 4)
+	got, err := inst.BetweennessCentrality(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Errorf("bc[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+	// The middle of a path carries the most shortest paths.
+	if got[2] <= got[1] || got[1] <= got[0] {
+		t.Errorf("path BC not peaked at center: %v", got)
+	}
+}
+
+func TestBetweennessCentralityMatchesReferenceOnKron(t *testing.T) {
+	el := kron(9, 5)
+	p := verify.Prepare(el)
+	var sources []graph.VID
+	for v := 0; v < p.Out.NumVertices && len(sources) < 4; v++ {
+		if p.Out.Degree(graph.VID(v)) > 1 {
+			sources = append(sources, graph.VID(v))
+		}
+	}
+	want := verify.BetweennessCentrality(p, sources)
+	inst := load(t, New(), el, 8)
+	got, err := inst.BetweennessCentrality(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		tol := 1e-9 * (1 + math.Abs(want[v]))
+		if math.Abs(got[v]-want[v]) > tol {
+			t.Fatalf("bc[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestBetweennessCentralityErrors(t *testing.T) {
+	inst := load(t, New(), kron(6, 1), 2)
+	if _, err := inst.BetweennessCentrality(nil); err == nil {
+		t.Error("no sources accepted")
+	}
+	if _, err := inst.BetweennessCentrality([]graph.VID{1 << 20}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}

@@ -1,0 +1,149 @@
+// Package gap implements a Go analogue of the GAP Benchmark Suite
+// (Beamer, Asanović, Patterson), the best-performing system in the
+// paper's study.
+//
+// Architectural character preserved from the original:
+//
+//   - CSR storage with both out- and in-adjacency (the in-CSR enables
+//     pull-direction iteration);
+//   - a separately-timed graph construction phase (Fig. 2/3 report
+//     GAP's construction separately);
+//   - direction-optimizing BFS with the published α=15, β=18
+//     heuristics (the paper notes it uses these defaults untuned);
+//   - delta-stepping SSSP with a configurable Δ;
+//   - pull-based PageRank in float64 with the homogenized L1 stopping
+//     criterion;
+//   - Shiloach-Vishkin style connected components (the suite's CC);
+//   - OpenMP-style dynamic scheduling with small grains.
+package gap
+
+import (
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/simmachine"
+)
+
+// Tunables exposed by the real suite.
+const (
+	// DefaultAlpha and DefaultBeta are the direction-optimizing BFS
+	// switching parameters; the paper uses the defaults.
+	DefaultAlpha = 15
+	DefaultBeta  = 18
+	// DefaultDelta is the delta-stepping bucket width for weights
+	// uniform in (0,1].
+	DefaultDelta = 0.25
+)
+
+// Cost constants (per operation) charged to the machine model. GAP is
+// the leanest implementation in the study: tight loops over plain
+// arrays with float64 scores.
+var (
+	costTopDownEdge  = simmachine.Cost{Cycles: 6, Bytes: 10}
+	costBottomUpEdge = simmachine.Cost{Cycles: 4, Bytes: 8}
+	costClaim        = simmachine.Cost{Atomics: 1}
+	costRelax        = simmachine.Cost{Cycles: 9, Bytes: 14}
+	costBucketOp     = simmachine.Cost{Cycles: 6, Bytes: 8}
+	costPREdge       = simmachine.Cost{Cycles: 3, Bytes: 12}
+	costPRVertex     = simmachine.Cost{Cycles: 6, Bytes: 24}
+	costCCEdge       = simmachine.Cost{Cycles: 4, Bytes: 10}
+	costBuildEdge    = simmachine.Cost{Cycles: 5, Bytes: 18}
+)
+
+// Engine is the GAP Benchmark Suite analogue.
+type Engine struct {
+	Alpha int
+	Beta  int
+	Delta float64
+}
+
+// New returns the engine with the paper's default parameterization.
+func New() *Engine {
+	return &Engine{Alpha: DefaultAlpha, Beta: DefaultBeta, Delta: DefaultDelta}
+}
+
+// Name implements engines.Engine.
+func (e *Engine) Name() string { return "GAP" }
+
+// SeparateConstruction implements engines.Engine: GAP builds its CSR
+// in a distinct, timed phase.
+func (e *Engine) SeparateConstruction() bool { return true }
+
+// Has implements engines.Engine. The suite provides BFS, SSSP, PR and
+// CC (reported as WCC here); it has no CDLP or LCC reference.
+func (e *Engine) Has(alg engines.Algorithm) bool {
+	switch alg {
+	case engines.BFS, engines.SSSP, engines.PageRank, engines.WCC:
+		return true
+	}
+	return false
+}
+
+// Instance is a loaded GAP graph.
+type Instance struct {
+	eng *Engine
+	m   *simmachine.Machine
+	el  *graph.EdgeList
+
+	out *graph.CSR
+	in  *graph.CSR
+	n   int
+	// total directed edges, used by the direction-optimizing
+	// heuristic.
+	mEdges int64
+}
+
+// Load implements engines.Engine. It only captures the edge list; the
+// CSR is built in BuildStructure (the separately-timed phase).
+func (e *Engine) Load(el *graph.EdgeList, m *simmachine.Machine) (engines.Instance, error) {
+	if err := el.Validate(); err != nil {
+		return nil, err
+	}
+	return &Instance{eng: e, m: m, el: el}, nil
+}
+
+// BuildStructure implements engines.Instance: Kernel-1-style CSR
+// construction, charged as two passes over the edge list.
+func (inst *Instance) BuildStructure() {
+	el := inst.el
+	inst.m.ParallelFor(len(el.Edges), 4096, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+		w.Charge(costBuildEdge.Scale(2 * float64(hi-lo))) // count + scatter
+	})
+	inst.out = graph.BuildCSR(el, graph.BuildOptions{
+		Symmetrize:    !el.Directed,
+		DropSelfLoops: true,
+		Dedup:         true,
+		Sort:          true,
+	})
+	if el.Directed {
+		inst.m.ParallelFor(int(inst.out.NumEdges()), 4096, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+			w.Charge(costBuildEdge.Scale(float64(hi - lo)))
+		})
+		inst.in = graph.Transpose(inst.out, 0)
+		inst.in.SortAdjacency()
+	} else {
+		inst.in = inst.out
+	}
+	inst.n = inst.out.NumVertices
+	inst.mEdges = inst.out.NumEdges()
+}
+
+func (inst *Instance) built() bool { return inst.out != nil }
+
+// ensureBuilt guards algorithm entry points: the harness always calls
+// BuildStructure, but library users might not.
+func (inst *Instance) ensureBuilt() {
+	if !inst.built() {
+		inst.BuildStructure()
+	}
+}
+
+// CDLP implements engines.Instance; GAP has no CDLP reference.
+func (inst *Instance) CDLP(maxIter int) (*engines.CDLPResult, error) {
+	return nil, engines.ErrUnsupported
+}
+
+// LCC implements engines.Instance; GAP has no LCC reference (the
+// suite's triangle count is a different kernel).
+func (inst *Instance) LCC() (*engines.LCCResult, error) {
+	return nil, engines.ErrUnsupported
+}

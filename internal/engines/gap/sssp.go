@@ -1,0 +1,179 @@
+package gap
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/simmachine"
+)
+
+// SSSP implements engines.Instance with delta-stepping (Meyer &
+// Sanders), the algorithm of the GAP suite: tentative distances live
+// in an atomically CAS-min'ed float64 array; vertices are binned into
+// buckets of width Δ; each bucket is settled by repeated parallel
+// relaxation passes of its light edges, then heavy edges are relaxed
+// once.
+func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
+	inst.ensureBuilt()
+	if inst.out.Weights == nil {
+		return nil, engines.ErrUnsupported // unweighted input, as with cit-Patents in Table I
+	}
+	n := inst.n
+	delta := inst.eng.Delta
+	if delta <= 0 {
+		delta = DefaultDelta
+	}
+
+	res := &engines.SSSPResult{
+		Root:   root,
+		Dist:   make([]float64, n),
+		Parent: make([]int64, n),
+	}
+	dist := make([]uint64, n) // float64 bits, for CAS-min
+	inf := math.Float64bits(math.Inf(1))
+	for i := range dist {
+		dist[i] = inf
+		res.Parent[i] = engines.NoParent
+	}
+	dist[root] = math.Float64bits(0)
+	res.Parent[root] = int64(root)
+
+	loadDist := func(v graph.VID) float64 {
+		return math.Float64frombits(atomic.LoadUint64(&dist[v]))
+	}
+	// casMin lowers dist[v] to nd if it improves it, recording the
+	// parent; returns true when it won.
+	casMin := func(v graph.VID, nd float64, p graph.VID) bool {
+		for {
+			oldBits := atomic.LoadUint64(&dist[v])
+			if math.Float64frombits(oldBits) <= nd {
+				return false
+			}
+			if atomic.CompareAndSwapUint64(&dist[v], oldBits, math.Float64bits(nd)) {
+				atomic.StoreInt64(&res.Parent[v], int64(p))
+				return true
+			}
+		}
+	}
+
+	buckets := [][]graph.VID{{root}}
+	var relaxations int64
+
+	bucketOf := func(d float64) int { return int(d / delta) }
+	put := func(bkts [][]graph.VID, idx int, v graph.VID) [][]graph.VID {
+		for len(bkts) <= idx {
+			bkts = append(bkts, nil)
+		}
+		bkts[idx] = append(bkts[idx], v)
+		return bkts
+	}
+
+	for bi := 0; bi < len(buckets); bi++ {
+		// Settle light edges of bucket bi to a fixed point.
+		current := buckets[bi]
+		buckets[bi] = nil
+		var heavyFrontier []graph.VID
+		for len(current) > 0 {
+			heavyFrontier = append(heavyFrontier, current...)
+			var mu sync.Mutex
+			var reAdd []graph.VID
+			var later [][2]int64 // (bucket, vertex) pairs found for later buckets
+			inst.m.ParallelFor(len(current), 32, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+				var localRe []graph.VID
+				var localLater [][2]int64
+				var edges, wins int64
+				for _, v := range current[lo:hi] {
+					dv := loadDist(v)
+					if bucketOf(dv) != bi { // stale entry
+						continue
+					}
+					adj := inst.out.Neighbors(v)
+					ws := inst.out.NeighborWeights(v)
+					for i, u := range adj {
+						wt := float64(ws[i])
+						if wt > delta {
+							continue // heavy edges handled after settling
+						}
+						edges++
+						nd := dv + wt
+						if casMin(u, nd, v) {
+							wins++
+							if b := bucketOf(nd); b == bi {
+								localRe = append(localRe, u)
+							} else {
+								localLater = append(localLater, [2]int64{int64(b), int64(u)})
+							}
+						}
+					}
+				}
+				if len(localRe)+len(localLater) > 0 {
+					mu.Lock()
+					reAdd = append(reAdd, localRe...)
+					later = append(later, localLater...)
+					mu.Unlock()
+				}
+				atomic.AddInt64(&relaxations, edges)
+				w.Charge(costRelax.Scale(float64(edges)))
+				w.Charge(costClaim.Scale(float64(wins)))
+				w.Charge(costBucketOp.Scale(float64(len(localRe) + len(localLater))))
+			})
+			for _, bv := range later {
+				buckets = put(buckets, int(bv[0]), graph.VID(bv[1]))
+			}
+			current = reAdd
+		}
+		// One pass of heavy edges from everything settled in bi.
+		if len(heavyFrontier) > 0 {
+			var mu sync.Mutex
+			var found [][2]int64
+			inst.m.ParallelFor(len(heavyFrontier), 32, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+				var local [][2]int64
+				var edges, wins int64
+				for _, v := range heavyFrontier[lo:hi] {
+					dv := loadDist(v)
+					adj := inst.out.Neighbors(v)
+					ws := inst.out.NeighborWeights(v)
+					for i, u := range adj {
+						wt := float64(ws[i])
+						if wt <= delta {
+							continue
+						}
+						edges++
+						nd := dv + wt
+						if casMin(u, nd, v) {
+							wins++
+							local = append(local, [2]int64{int64(bucketOf(nd)), int64(u)})
+						}
+					}
+				}
+				if len(local) > 0 {
+					mu.Lock()
+					found = append(found, local...)
+					mu.Unlock()
+				}
+				atomic.AddInt64(&relaxations, edges)
+				w.Charge(costRelax.Scale(float64(edges)))
+				w.Charge(costClaim.Scale(float64(wins)))
+				w.Charge(costBucketOp.Scale(float64(len(local))))
+			})
+			for _, bv := range found {
+				if int(bv[0]) > bi {
+					buckets = put(buckets, int(bv[0]), graph.VID(bv[1]))
+				} else {
+					// Rare: heavy relaxation landed in the current
+					// bucket range due to float rounding; reprocess.
+					buckets = put(buckets, bi+1, graph.VID(bv[1]))
+				}
+			}
+		}
+	}
+
+	for v := 0; v < n; v++ {
+		res.Dist[v] = math.Float64frombits(dist[v])
+	}
+	res.Relaxations = relaxations
+	return res, nil
+}

@@ -1,0 +1,102 @@
+package gap
+
+import (
+	"fmt"
+
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/simmachine"
+)
+
+// The paper's future work: "Advances in parallel SSSP and BFS contain
+// parameterizations (Δ for SSSP and α and β for BFS) which affect
+// performance depending on graph structure. ... We plan to add some
+// level of heuristic parameter tuning." This file implements that
+// tuning loop for the GAP engine: candidate parameterizations are
+// evaluated on sample roots against the machine model and the best
+// modeled time wins.
+
+// TuneResult reports one candidate's measurement.
+type TuneResult struct {
+	Delta   float64 // SSSP candidates
+	Alpha   int     // BFS candidates
+	Beta    int
+	Seconds float64 // mean modeled seconds over the sample roots
+}
+
+// TuneDelta evaluates delta-stepping bucket widths on the given graph
+// and roots, returning the best value and the full sweep. The
+// engine's machine model supplies timing, so the search is
+// deterministic.
+func TuneDelta(el *graph.EdgeList, model simmachine.Model, threads int, roots []graph.VID, candidates []float64) (best float64, sweep []TuneResult, err error) {
+	if len(candidates) == 0 {
+		candidates = []float64{0.0625, 0.125, 0.25, 0.5, 1.0}
+	}
+	if len(roots) == 0 {
+		return 0, nil, fmt.Errorf("gap: tuning needs at least one root")
+	}
+	bestTime := -1.0
+	for _, delta := range candidates {
+		e := New()
+		e.Delta = delta
+		m := simmachine.New(model, threads)
+		m.SetTracing(false)
+		inst, lerr := e.Load(el, m)
+		if lerr != nil {
+			return 0, nil, lerr
+		}
+		inst.BuildStructure()
+		start := m.Elapsed()
+		for _, r := range roots {
+			if _, rerr := inst.SSSP(r); rerr != nil {
+				return 0, nil, rerr
+			}
+		}
+		mean := (m.Elapsed() - start) / float64(len(roots))
+		sweep = append(sweep, TuneResult{Delta: delta, Seconds: mean})
+		if bestTime < 0 || mean < bestTime {
+			bestTime, best = mean, delta
+		}
+	}
+	return best, sweep, nil
+}
+
+// TuneAlphaBeta evaluates direction-optimizing BFS switch parameters,
+// including the paper's untuned defaults (α=15, β=18), and returns
+// the best pair.
+func TuneAlphaBeta(el *graph.EdgeList, model simmachine.Model, threads int, roots []graph.VID, alphas, betas []int) (bestAlpha, bestBeta int, sweep []TuneResult, err error) {
+	if len(alphas) == 0 {
+		alphas = []int{5, 15, 30, 60}
+	}
+	if len(betas) == 0 {
+		betas = []int{6, 18, 36}
+	}
+	if len(roots) == 0 {
+		return 0, 0, nil, fmt.Errorf("gap: tuning needs at least one root")
+	}
+	bestTime := -1.0
+	for _, a := range alphas {
+		for _, b := range betas {
+			e := New()
+			e.Alpha, e.Beta = a, b
+			m := simmachine.New(model, threads)
+			m.SetTracing(false)
+			inst, lerr := e.Load(el, m)
+			if lerr != nil {
+				return 0, 0, nil, lerr
+			}
+			inst.BuildStructure()
+			start := m.Elapsed()
+			for _, r := range roots {
+				if _, rerr := inst.BFS(r); rerr != nil {
+					return 0, 0, nil, rerr
+				}
+			}
+			mean := (m.Elapsed() - start) / float64(len(roots))
+			sweep = append(sweep, TuneResult{Alpha: a, Beta: b, Seconds: mean})
+			if bestTime < 0 || mean < bestTime {
+				bestTime, bestAlpha, bestBeta = mean, a, b
+			}
+		}
+	}
+	return bestAlpha, bestBeta, sweep, nil
+}

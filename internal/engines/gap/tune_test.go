@@ -1,0 +1,100 @@
+package gap
+
+import (
+	"testing"
+
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/simmachine"
+	"github.com/hpcl-repro/epg/internal/verify"
+)
+
+func tuneRoots(el *graph.EdgeList, n int) []graph.VID {
+	p := verify.Prepare(el)
+	var roots []graph.VID
+	for v := 0; v < p.Out.NumVertices && len(roots) < n; v++ {
+		if p.Out.Degree(graph.VID(v)) > 1 {
+			roots = append(roots, graph.VID(v))
+		}
+	}
+	return roots
+}
+
+func TestTuneDeltaPicksACandidate(t *testing.T) {
+	el := kron(10, 3)
+	roots := tuneRoots(el, 2)
+	best, sweep, err := TuneDelta(el, simmachine.Haswell72(), 8, roots, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 5 {
+		t.Fatalf("sweep has %d entries, want 5 defaults", len(sweep))
+	}
+	found := false
+	minSec := -1.0
+	for _, r := range sweep {
+		if r.Seconds <= 0 {
+			t.Errorf("candidate %v has no time", r.Delta)
+		}
+		if r.Delta == best {
+			found = true
+		}
+		if minSec < 0 || r.Seconds < minSec {
+			minSec = r.Seconds
+		}
+	}
+	if !found {
+		t.Errorf("best delta %v not in sweep", best)
+	}
+	// The winner must actually be the minimum.
+	for _, r := range sweep {
+		if r.Delta == best && r.Seconds > minSec {
+			t.Errorf("best delta %v is not the fastest candidate", best)
+		}
+	}
+}
+
+func TestTuneDeltaDeterministic(t *testing.T) {
+	el := kron(9, 7)
+	roots := tuneRoots(el, 1)
+	cands := []float64{0.125, 0.5}
+	a, _, err := TuneDelta(el, simmachine.Haswell72(), 4, roots, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := TuneDelta(el, simmachine.Haswell72(), 4, roots, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("tuning nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestTuneAlphaBeta(t *testing.T) {
+	el := kron(10, 5)
+	roots := tuneRoots(el, 2)
+	alpha, beta, sweep, err := TuneAlphaBeta(el, simmachine.Haswell72(), 8, roots,
+		[]int{15, 60}, []int{18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 2 {
+		t.Fatalf("sweep entries = %d, want 2", len(sweep))
+	}
+	if beta != 18 {
+		t.Errorf("beta = %d", beta)
+	}
+	if alpha != 15 && alpha != 60 {
+		t.Errorf("alpha = %d not among candidates", alpha)
+	}
+}
+
+func TestTuneNeedsRoots(t *testing.T) {
+	el := kron(6, 1)
+	if _, _, err := TuneDelta(el, simmachine.Haswell72(), 2, nil, nil); err == nil {
+		t.Error("no roots accepted")
+	}
+	if _, _, _, err := TuneAlphaBeta(el, simmachine.Haswell72(), 2, nil, nil, nil); err == nil {
+		t.Error("no roots accepted")
+	}
+}

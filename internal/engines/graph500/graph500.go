@@ -1,0 +1,170 @@
+// Package graph500 implements a Go analogue of the Graph500 OpenMP
+// reference implementation (version ~2.1.4, the one the paper forks).
+//
+// Architectural character preserved from the original:
+//
+//   - it is a BFS-only benchmark (Benchmark 1 "Search": Kernel 1
+//     builds a CSR from an unsorted edge list, Kernel 2 runs BFS);
+//   - the graph is constructed once and all roots run back-to-back
+//     with no file I/O in between (the paper notes this makes the
+//     Graph500 the most sensitive to CPU noise);
+//   - plain level-synchronous top-down BFS — no direction
+//     optimization — claiming children through CAS on an int64
+//     parent array (the reference stores 64-bit parents, paying more
+//     memory traffic than GAP's 32-bit structures);
+//   - OpenMP schedule(static)-style round-robin chunking, which on
+//     skewed Kronecker frontiers produces the load imbalance visible
+//     in the paper's efficiency plot (Fig. 6).
+package graph500
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/simmachine"
+)
+
+// Cost constants: the reference's per-edge loop is lean but touches
+// 64-bit parents and a visited bitmap, and CASes every unvisited
+// target.
+var (
+	// The reference's inner loop is a tight bitmap test per edge.
+	costEdge      = simmachine.Cost{Cycles: 5, Bytes: 9}
+	costClaim     = simmachine.Cost{Atomics: 1, Bytes: 8}
+	costBuildEdge = simmachine.Cost{Cycles: 6, Bytes: 20}
+)
+
+// Engine is the Graph500 reference analogue.
+type Engine struct{}
+
+// New returns the engine.
+func New() *Engine { return &Engine{} }
+
+// Name implements engines.Engine.
+func (e *Engine) Name() string { return "Graph500" }
+
+// SeparateConstruction implements engines.Engine: Kernel 1 is timed
+// separately from the search kernel.
+func (e *Engine) SeparateConstruction() bool { return true }
+
+// Has implements engines.Engine: the Graph500 is BFS-only.
+func (e *Engine) Has(alg engines.Algorithm) bool { return alg == engines.BFS }
+
+// Instance is a loaded Graph500 graph.
+type Instance struct {
+	m   *simmachine.Machine
+	el  *graph.EdgeList
+	csr *graph.CSR
+}
+
+// Load implements engines.Engine.
+func (e *Engine) Load(el *graph.EdgeList, m *simmachine.Machine) (engines.Instance, error) {
+	if err := el.Validate(); err != nil {
+		return nil, err
+	}
+	return &Instance{m: m, el: el}, nil
+}
+
+// BuildStructure implements engines.Instance (Kernel 1).
+func (inst *Instance) BuildStructure() {
+	inst.m.ParallelFor(len(inst.el.Edges), 4096, simmachine.Static, func(lo, hi int, w *simmachine.W) {
+		w.Charge(costBuildEdge.Scale(2 * float64(hi-lo)))
+	})
+	inst.csr = graph.BuildCSR(inst.el, graph.BuildOptions{
+		Symmetrize:    !inst.el.Directed,
+		DropSelfLoops: true,
+		Dedup:         true,
+		Sort:          true,
+	})
+}
+
+func (inst *Instance) ensureBuilt() {
+	if inst.csr == nil {
+		inst.BuildStructure()
+	}
+}
+
+// BFS implements engines.Instance (Kernel 2).
+func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
+	inst.ensureBuilt()
+	n := inst.csr.NumVertices
+	res := &engines.BFSResult{
+		Root:   root,
+		Parent: make([]int64, n),
+		Depth:  make([]int64, n),
+	}
+	for i := range res.Parent {
+		res.Parent[i] = engines.NoParent
+		res.Depth[i] = -1
+	}
+	res.Parent[root] = int64(root)
+	res.Depth[root] = 0
+
+	frontier := []graph.VID{root}
+	level := int64(0)
+	var examined int64
+	// The reference uses static scheduling: chunk the frontier
+	// round-robin across threads regardless of degree skew.
+	grain := 128
+	for len(frontier) > 0 {
+		var mu sync.Mutex
+		var next []graph.VID
+		inst.m.ParallelFor(len(frontier), grain, simmachine.Static, func(lo, hi int, w *simmachine.W) {
+			var local []graph.VID
+			var edges, claims int64
+			for _, v := range frontier[lo:hi] {
+				for _, u := range inst.csr.Neighbors(v) {
+					edges++
+					if atomic.LoadInt64(&res.Parent[u]) != engines.NoParent {
+						continue
+					}
+					claims++ // the reference CASes every unvisited sighting
+					if atomic.CompareAndSwapInt64(&res.Parent[u], engines.NoParent, int64(v)) {
+						atomic.StoreInt64(&res.Depth[u], level+1)
+						local = append(local, u)
+					}
+				}
+			}
+			if len(local) > 0 {
+				mu.Lock()
+				next = append(next, local...)
+				mu.Unlock()
+			}
+			atomic.AddInt64(&examined, edges)
+			w.Charge(costEdge.Scale(float64(edges)))
+			w.Charge(costClaim.Scale(float64(claims)))
+			w.Cycles(float64(len(local)) * 4)
+		})
+		frontier = next
+		level++
+	}
+	res.EdgesExamined = examined
+	return res, nil
+}
+
+// SSSP implements engines.Instance; not part of the benchmark.
+func (inst *Instance) SSSP(graph.VID) (*engines.SSSPResult, error) {
+	return nil, engines.ErrUnsupported
+}
+
+// PageRank implements engines.Instance; not part of the benchmark.
+func (inst *Instance) PageRank(engines.PROpts) (*engines.PRResult, error) {
+	return nil, engines.ErrUnsupported
+}
+
+// CDLP implements engines.Instance; not part of the benchmark.
+func (inst *Instance) CDLP(int) (*engines.CDLPResult, error) {
+	return nil, engines.ErrUnsupported
+}
+
+// LCC implements engines.Instance; not part of the benchmark.
+func (inst *Instance) LCC() (*engines.LCCResult, error) {
+	return nil, engines.ErrUnsupported
+}
+
+// WCC implements engines.Instance; not part of the benchmark.
+func (inst *Instance) WCC() (*engines.WCCResult, error) {
+	return nil, engines.ErrUnsupported
+}

@@ -1,0 +1,297 @@
+package graphbig
+
+import (
+	"math"
+	"sync/atomic"
+
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/simmachine"
+)
+
+// PageRank implements engines.Instance: push-based accumulation into
+// float32 vertex properties guarded by atomic adds — System G stores
+// single-precision rank properties, so the paper's ε = 6e-8 stopping
+// threshold sits at float32's precision floor and GraphBIG needs more
+// iterations than the float64 engines to get under it.
+func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
+	opts = opts.Normalize()
+	n := inst.n
+	if n == 0 {
+		return &engines.PRResult{}, nil
+	}
+	inv := float32(1.0 / float64(n))
+	rank := make([]uint32, n) // float32 bits for atomic adds
+	next := make([]uint32, n)
+	for i := range rank {
+		rank[i] = math.Float32bits(inv)
+	}
+	res := &engines.PRResult{}
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		// Dangling mass (float64 reduction of float32 properties).
+		var danglingBits uint64
+		inst.m.ParallelFor(n, 4096, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+			local := 0.0
+			for v := lo; v < hi; v++ {
+				if len(inst.vertices[v].out) == 0 {
+					local += float64(math.Float32frombits(rank[v]))
+				}
+			}
+			atomicAdd64(&danglingBits, local)
+			w.Charge(costPRVertex.Scale(float64(hi-lo) * 0.25))
+		})
+		dangling := math.Float64frombits(atomic.LoadUint64(&danglingBits))
+		base := float32((1-opts.Damping)/float64(n) + opts.Damping*dangling/float64(n))
+		for i := range next {
+			next[i] = math.Float32bits(base)
+		}
+
+		// Push phase: atomic float32 accumulation per edge.
+		inst.m.ParallelFor(n, 512, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+			var edges int64
+			for v := lo; v < hi; v++ {
+				out := inst.vertices[v].out
+				if len(out) == 0 {
+					continue
+				}
+				share := float32(opts.Damping) * math.Float32frombits(rank[v]) / float32(len(out))
+				for _, u := range out {
+					atomicAdd32(&next[u], share)
+				}
+				edges += int64(len(out))
+			}
+			w.Charge(costPREdge.Scale(float64(edges)))
+			w.Charge(costPRVertex.Scale(float64(hi - lo)))
+		})
+
+		// L1 over float32 properties, accumulated in float64.
+		var l1Bits uint64
+		inst.m.ParallelFor(n, 4096, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+			local := 0.0
+			for v := lo; v < hi; v++ {
+				d := float64(math.Float32frombits(next[v])) - float64(math.Float32frombits(rank[v]))
+				local += math.Abs(d)
+			}
+			atomicAdd64(&l1Bits, local)
+			w.Charge(costPRVertex.Scale(float64(hi-lo) * 0.5))
+		})
+		l1 := math.Float64frombits(atomic.LoadUint64(&l1Bits))
+
+		rank, next = next, rank
+		res.Iterations = iter
+		if l1 < opts.Epsilon {
+			break
+		}
+	}
+	res.Rank = make([]float64, n)
+	for v := 0; v < n; v++ {
+		res.Rank[v] = float64(math.Float32frombits(rank[v]))
+	}
+	return res, nil
+}
+
+func atomicAdd64(bits *uint64, delta float64) {
+	for {
+		old := atomic.LoadUint64(bits)
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if atomic.CompareAndSwapUint64(bits, old, nv) {
+			return
+		}
+	}
+}
+
+func atomicAdd32(bits *uint32, delta float32) {
+	for {
+		old := atomic.LoadUint32(bits)
+		nv := math.Float32bits(math.Float32frombits(old) + delta)
+		if atomic.CompareAndSwapUint32(bits, old, nv) {
+			return
+		}
+	}
+}
+
+// CDLP implements engines.Instance: synchronous label propagation
+// with per-vertex histogram maps (System G's property-map style).
+func (inst *Instance) CDLP(maxIter int) (*engines.CDLPResult, error) {
+	n := inst.n
+	label := make([]graph.VID, n)
+	next := make([]graph.VID, n)
+	for i := range label {
+		label[i] = graph.VID(i)
+	}
+	res := &engines.CDLPResult{}
+	for iter := 1; iter <= maxIter; iter++ {
+		var changed int64
+		inst.m.ParallelFor(n, 256, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+			counts := make(map[graph.VID]int)
+			var edges, localChanged int64
+			for v := lo; v < hi; v++ {
+				clear(counts)
+				for _, u := range inst.vertices[v].out {
+					counts[label[u]]++
+				}
+				edges += int64(len(inst.vertices[v].out))
+				if inst.directed {
+					for _, u := range inst.vertices[v].in {
+						counts[label[u]]++
+					}
+					edges += int64(len(inst.vertices[v].in))
+				}
+				nl := pickLabel(counts, label[v])
+				next[v] = nl
+				if nl != label[v] {
+					localChanged++
+				}
+			}
+			atomic.AddInt64(&changed, localChanged)
+			w.Charge(costCDLPEdge.Scale(float64(edges)))
+			w.Charge(costPropTouch.Scale(float64(hi - lo)))
+		})
+		label, next = next, label
+		res.Iterations = iter
+		if changed == 0 {
+			break
+		}
+	}
+	res.Label = label
+	return res, nil
+}
+
+func pickLabel(counts map[graph.VID]int, own graph.VID) graph.VID {
+	if len(counts) == 0 {
+		return own
+	}
+	best := graph.VID(0)
+	bestN := -1
+	for l, c := range counts {
+		if c > bestN || (c == bestN && l < best) {
+			best, bestN = l, c
+		}
+	}
+	return best
+}
+
+// LCC implements engines.Instance: per-vertex hash-set membership
+// tests over the distinct in∪out neighborhood.
+func (inst *Instance) LCC() (*engines.LCCResult, error) {
+	n := inst.n
+	coeff := make([]float64, n)
+	inst.m.ParallelFor(n, 64, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+		set := make(map[graph.VID]struct{})
+		var checks int64
+		for v := lo; v < hi; v++ {
+			nbrs := inst.neighborhood(graph.VID(v))
+			d := len(nbrs)
+			if d < 2 {
+				continue
+			}
+			clear(set)
+			for _, u := range nbrs {
+				set[u] = struct{}{}
+			}
+			links := 0
+			for _, u := range nbrs {
+				for _, x := range inst.vertices[u].out {
+					checks++
+					if x == u || x == graph.VID(v) {
+						continue
+					}
+					if _, ok := set[x]; ok {
+						links++
+					}
+				}
+			}
+			coeff[v] = float64(links) / float64(d*(d-1))
+		}
+		w.Charge(costLCCCheck.Scale(float64(checks)))
+		w.Charge(costPropTouch.Scale(float64(hi - lo)))
+	})
+	return &engines.LCCResult{Coeff: coeff}, nil
+}
+
+// neighborhood returns distinct in∪out neighbors of v excluding v
+// (adjacency lists are sorted and deduplicated at load).
+func (inst *Instance) neighborhood(v graph.VID) []graph.VID {
+	out := inst.vertices[v].out
+	if !inst.directed {
+		return out // sorted, simple graph: v itself was dropped
+	}
+	in := inst.vertices[v].in
+	merged := make([]graph.VID, 0, len(out)+len(in))
+	i, j := 0, 0
+	for i < len(out) || j < len(in) {
+		var nxt graph.VID
+		switch {
+		case i >= len(out):
+			nxt = in[j]
+			j++
+		case j >= len(in):
+			nxt = out[i]
+			i++
+		case out[i] < in[j]:
+			nxt = out[i]
+			i++
+		case in[j] < out[i]:
+			nxt = in[j]
+			j++
+		default:
+			nxt = out[i]
+			i++
+			j++
+		}
+		if nxt == v {
+			continue
+		}
+		if len(merged) == 0 || merged[len(merged)-1] != nxt {
+			merged = append(merged, nxt)
+		}
+	}
+	return merged
+}
+
+// WCC implements engines.Instance: plain min-label propagation (no
+// pointer jumping) until quiescent.
+func (inst *Instance) WCC() (*engines.WCCResult, error) {
+	n := inst.n
+	comp := make([]uint32, n)
+	for i := range comp {
+		comp[i] = uint32(i)
+	}
+	for {
+		var changed int64
+		inst.m.ParallelFor(n, 1024, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+			var edges, localChanged int64
+			for v := lo; v < hi; v++ {
+				min := atomic.LoadUint32(&comp[v])
+				for _, u := range inst.vertices[v].out {
+					if c := atomic.LoadUint32(&comp[u]); c < min {
+						min = c
+					}
+				}
+				edges += int64(len(inst.vertices[v].out))
+				if inst.directed {
+					for _, u := range inst.vertices[v].in {
+						if c := atomic.LoadUint32(&comp[u]); c < min {
+							min = c
+						}
+					}
+					edges += int64(len(inst.vertices[v].in))
+				}
+				if min < comp[v] {
+					atomic.StoreUint32(&comp[v], min)
+					localChanged++
+				}
+			}
+			atomic.AddInt64(&changed, localChanged)
+			w.Charge(costWCCEdge.Scale(float64(edges)))
+		})
+		if changed == 0 {
+			break
+		}
+	}
+	res := &engines.WCCResult{Component: make([]graph.VID, n)}
+	for v := 0; v < n; v++ {
+		res.Component[v] = graph.VID(comp[v])
+	}
+	return res, nil
+}

@@ -1,0 +1,355 @@
+package powergraph
+
+import (
+	"math"
+	"sync/atomic"
+
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/simmachine"
+)
+
+// SSSP implements engines.Instance as a GAS vertex program: gather
+// takes the min over in-edges from active sources, apply commits the
+// improvement, scatter re-activates improved vertices.
+func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
+	if !inst.weighted {
+		return nil, engines.ErrUnsupported
+	}
+	n := inst.n
+	res := &engines.SSSPResult{
+		Root:   root,
+		Dist:   make([]float64, n),
+		Parent: make([]int64, n),
+	}
+	dist := make([]uint64, n)
+	inf := math.Float64bits(math.Inf(1))
+	for i := range dist {
+		dist[i] = inf
+		res.Parent[i] = engines.NoParent
+	}
+	dist[root] = math.Float64bits(0)
+	res.Parent[root] = int64(root)
+
+	active := make([]bool, n)
+	active[root] = true
+	var relaxations int64
+
+	for {
+		improved := make([]int32, n)
+		var any int64
+		inst.gatherSweep(active, func(e shardEdge) {
+			dv := math.Float64frombits(atomic.LoadUint64(&dist[e.src]))
+			nd := dv + float64(e.w)
+			for {
+				old := atomic.LoadUint64(&dist[e.dst])
+				if math.Float64frombits(old) <= nd {
+					break
+				}
+				if atomic.CompareAndSwapUint64(&dist[e.dst], old, math.Float64bits(nd)) {
+					atomic.StoreInt64(&res.Parent[e.dst], int64(e.src))
+					atomic.StoreInt32(&improved[e.dst], 1)
+					break
+				}
+			}
+			atomic.AddInt64(&relaxations, 1)
+		})
+		inst.syncGhosts()
+		// Apply + scatter: activate improved vertices.
+		next := make([]bool, n)
+		inst.m.ParallelFor(n, 2048, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+			var applied int64
+			for v := lo; v < hi; v++ {
+				if improved[v] != 0 {
+					next[v] = true
+					applied++
+					atomic.AddInt64(&any, 1)
+				}
+			}
+			w.Charge(costApplyVertex.Scale(float64(applied)))
+			w.Cycles(float64(hi-lo) * 1)
+		})
+		if any == 0 {
+			break
+		}
+		active = next
+	}
+	for v := 0; v < n; v++ {
+		res.Dist[v] = math.Float64frombits(dist[v])
+	}
+	res.Relaxations = relaxations
+	return res, nil
+}
+
+// PageRank implements engines.Instance: sum-gather over in-edges,
+// apply with the homogenized float64 L1 stopping criterion (the paper
+// modified each system to use it where possible).
+func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
+	opts = opts.Normalize()
+	n := inst.n
+	if n == 0 {
+		return &engines.PRResult{}, nil
+	}
+	inv := 1.0 / float64(n)
+	rank := make([]float64, n)
+	for i := range rank {
+		rank[i] = inv
+	}
+	outDeg := inst.out.OutDegrees()
+	contrib := make([]float64, n)
+	acc := make([]uint64, n)
+
+	res := &engines.PRResult{}
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		var danglingBits uint64
+		inst.m.ParallelFor(n, 4096, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+			local := 0.0
+			for v := lo; v < hi; v++ {
+				acc[v] = 0
+				if outDeg[v] == 0 {
+					local += rank[v]
+					contrib[v] = 0
+					continue
+				}
+				contrib[v] = rank[v] / float64(outDeg[v])
+			}
+			addFloat64(&danglingBits, local)
+			w.Cycles(float64(hi-lo) * 4)
+			w.Bytes(float64(hi-lo) * 24)
+		})
+		dangling := math.Float64frombits(atomic.LoadUint64(&danglingBits))
+		base := (1-opts.Damping)*inv + opts.Damping*dangling*inv
+
+		inst.gatherSweep(nil, func(e shardEdge) {
+			addFloat64(&acc[e.dst], contrib[e.src])
+		})
+		inst.syncGhosts()
+
+		var l1Bits uint64
+		inst.m.ParallelFor(n, 2048, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+			local := 0.0
+			for v := lo; v < hi; v++ {
+				nv := base + opts.Damping*math.Float64frombits(acc[v])
+				local += math.Abs(nv - rank[v])
+				rank[v] = nv
+			}
+			addFloat64(&l1Bits, local)
+			w.Charge(costApplyVertex.Scale(float64(hi - lo)))
+		})
+		l1 := math.Float64frombits(atomic.LoadUint64(&l1Bits))
+		res.Iterations = iter
+		if l1 < opts.Epsilon {
+			break
+		}
+	}
+	res.Rank = rank
+	return res, nil
+}
+
+func addFloat64(bits *uint64, delta float64) {
+	for {
+		old := atomic.LoadUint64(bits)
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if atomic.CompareAndSwapUint64(bits, old, nv) {
+			return
+		}
+	}
+}
+
+// CDLP implements engines.Instance: the gather phase accumulates a
+// label histogram per vertex (shipping per-edge label messages), the
+// apply phase picks the most frequent label with min tie-break.
+// Directed graphs gather from both directions (LDBC semantics); the
+// adjacency retained at load supplies the reverse edges.
+func (inst *Instance) CDLP(maxIter int) (*engines.CDLPResult, error) {
+	n := inst.n
+	label := make([]graph.VID, n)
+	next := make([]graph.VID, n)
+	for i := range label {
+		label[i] = graph.VID(i)
+	}
+	res := &engines.CDLPResult{}
+	for iter := 1; iter <= maxIter; iter++ {
+		var changed int64
+		inst.m.ParallelFor(n, 512, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+			counts := make(map[graph.VID]int)
+			var edges, localChanged int64
+			for v := lo; v < hi; v++ {
+				clear(counts)
+				for _, u := range inst.out.Neighbors(graph.VID(v)) {
+					counts[label[u]]++
+				}
+				edges += inst.out.Degree(graph.VID(v))
+				if inst.directed {
+					for _, u := range inst.in.Neighbors(graph.VID(v)) {
+						counts[label[u]]++
+					}
+					edges += inst.in.Degree(graph.VID(v))
+				}
+				nl := pickLabel(counts, label[v])
+				next[v] = nl
+				if nl != label[v] {
+					localChanged++
+				}
+			}
+			atomic.AddInt64(&changed, localChanged)
+			w.Charge(costGatherEdge.Scale(float64(edges) * 0.6))
+			w.Charge(costApplyVertex.Scale(float64(hi - lo)))
+		})
+		inst.syncGhosts()
+		label, next = next, label
+		res.Iterations = iter
+		if changed == 0 {
+			break
+		}
+	}
+	res.Label = label
+	return res, nil
+}
+
+func pickLabel(counts map[graph.VID]int, own graph.VID) graph.VID {
+	if len(counts) == 0 {
+		return own
+	}
+	best := graph.VID(0)
+	bestN := -1
+	for l, c := range counts {
+		if c > bestN || (c == bestN && l < best) {
+			best, bestN = l, c
+		}
+	}
+	return best
+}
+
+// LCC implements engines.Instance: neighborhood intersection with
+// GAS-grade per-check cost.
+func (inst *Instance) LCC() (*engines.LCCResult, error) {
+	n := inst.n
+	coeff := make([]float64, n)
+	inst.m.ParallelFor(n, 64, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+		var checks int64
+		for v := lo; v < hi; v++ {
+			nbrs := inst.neighborhood(graph.VID(v))
+			d := len(nbrs)
+			if d < 2 {
+				continue
+			}
+			links := 0
+			for _, u := range nbrs {
+				adj := inst.out.Neighbors(u)
+				i, j := 0, 0
+				for i < len(adj) && j < len(nbrs) {
+					checks++
+					switch {
+					case adj[i] < nbrs[j]:
+						i++
+					case adj[i] > nbrs[j]:
+						j++
+					default:
+						links++
+						i++
+						j++
+					}
+				}
+			}
+			coeff[v] = float64(links) / float64(d*(d-1))
+		}
+		w.Charge(costLCCCheck.Scale(float64(checks)))
+		w.Charge(costApplyVertex.Scale(float64(hi - lo)))
+	})
+	return &engines.LCCResult{Coeff: coeff}, nil
+}
+
+func (inst *Instance) neighborhood(v graph.VID) []graph.VID {
+	out := inst.out.Neighbors(v)
+	if !inst.directed {
+		return out
+	}
+	in := inst.in.Neighbors(v)
+	merged := make([]graph.VID, 0, len(out)+len(in))
+	i, j := 0, 0
+	for i < len(out) || j < len(in) {
+		var nxt graph.VID
+		switch {
+		case i >= len(out):
+			nxt = in[j]
+			j++
+		case j >= len(in):
+			nxt = out[i]
+			i++
+		case out[i] < in[j]:
+			nxt = out[i]
+			i++
+		case in[j] < out[i]:
+			nxt = in[j]
+			j++
+		default:
+			nxt = out[i]
+			i++
+			j++
+		}
+		if nxt == v {
+			continue
+		}
+		if len(merged) == 0 || merged[len(merged)-1] != nxt {
+			merged = append(merged, nxt)
+		}
+	}
+	return merged
+}
+
+// WCC implements engines.Instance: min-label GAS supersteps over both
+// edge directions until quiescent.
+func (inst *Instance) WCC() (*engines.WCCResult, error) {
+	n := inst.n
+	comp := make([]uint32, n)
+	for i := range comp {
+		comp[i] = uint32(i)
+	}
+	for {
+		improved := make([]int32, n)
+		// Full gather each superstep: min must flow across an edge
+		// whenever either endpoint changed, so the sweep processes
+		// every local edge (PowerGraph's dense-gather mode).
+		inst.gatherSweep(nil, func(e shardEdge) {
+			// Weak connectivity: propagate min both ways.
+			propagateMin(comp, improved, e.src, e.dst)
+			propagateMin(comp, improved, e.dst, e.src)
+		})
+		inst.syncGhosts()
+		var any int64
+		inst.m.ParallelFor(n, 2048, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+			var applied int64
+			for v := lo; v < hi; v++ {
+				if improved[v] != 0 {
+					applied++
+					atomic.AddInt64(&any, 1)
+				}
+			}
+			w.Charge(costApplyVertex.Scale(float64(applied)))
+		})
+		if any == 0 {
+			break
+		}
+	}
+	res := &engines.WCCResult{Component: make([]graph.VID, n)}
+	for v := 0; v < n; v++ {
+		res.Component[v] = graph.VID(comp[v])
+	}
+	return res, nil
+}
+
+// propagateMin lowers comp[to] to comp[from] if smaller.
+func propagateMin(comp []uint32, improved []int32, from, to graph.VID) {
+	c := atomic.LoadUint32(&comp[from])
+	for {
+		old := atomic.LoadUint32(&comp[to])
+		if old <= c {
+			return
+		}
+		if atomic.CompareAndSwapUint32(&comp[to], old, c) {
+			atomic.StoreInt32(&improved[to], 1)
+			return
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package powergraph implements a Go analogue of PowerGraph (Gonzalez
+// et al., OSDI'12), the study's one distributed-memory system, run on
+// a single node as in the paper.
+//
+// Architectural character preserved from the original:
+//
+//   - edges are partitioned across shards by a greedy vertex-cut
+//     placement (the "efficient edge-cut partitioning scheme" the
+//     paper credits for PowerGraph's Dota-League SSSP win); vertices
+//     spanning shards are replicated, and every superstep pays a
+//     ghost-synchronization cost proportional to the replica count;
+//   - computation follows the Gather-Apply-Scatter model: per-shard
+//     gather sweeps, a synchronization exchange, a vertex-parallel
+//     apply, and scatter-driven activation;
+//   - the framework carries substantial per-edge and per-superstep
+//     overhead (engine dispatch, edge iterators, replica
+//     bookkeeping), which dominates on small graphs — the paper's
+//     explanation for PowerGraph's poor showing at scale 22;
+//   - the toolkit provides no BFS reference implementation, so BFS
+//     returns ErrUnsupported (Fig. 8's BFS panel omits PowerGraph);
+//   - the graph is ingested and partitioned while reading (no
+//     separately-timed construction phase).
+package powergraph
+
+import (
+	"math/bits"
+
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/simmachine"
+)
+
+// Cost constants: GAS edge processing is an order of magnitude
+// heavier than a tight CSR loop — each gather goes through the vertex
+// program dispatch, edge iterator, and accumulator locking.
+var (
+	costGatherEdge  = simmachine.Cost{Cycles: 55, Bytes: 44, Atomics: 1}
+	costScanEdge    = simmachine.Cost{Cycles: 4, Bytes: 6}
+	costApplyVertex = simmachine.Cost{Cycles: 40, Bytes: 40}
+	costSyncReplica = simmachine.Cost{Cycles: 10, Bytes: 28}
+	costLoadEdge    = simmachine.Cost{Cycles: 45, Bytes: 56}
+	costLCCCheck    = simmachine.Cost{Cycles: 18, Bytes: 20}
+)
+
+// maxShards bounds the vertex-cut width (replica masks are one word).
+const maxShards = 64
+
+// Engine is the PowerGraph analogue.
+type Engine struct{}
+
+// New returns the engine.
+func New() *Engine { return &Engine{} }
+
+// Name implements engines.Engine.
+func (e *Engine) Name() string { return "PowerGraph" }
+
+// SeparateConstruction implements engines.Engine: PowerGraph ingests
+// and partitions while reading the input.
+func (e *Engine) SeparateConstruction() bool { return false }
+
+// Has implements engines.Engine: the toolkits cover everything here
+// except BFS.
+func (e *Engine) Has(alg engines.Algorithm) bool {
+	switch alg {
+	case engines.SSSP, engines.PageRank, engines.CDLP, engines.LCC, engines.WCC:
+		return true
+	}
+	return false
+}
+
+type shardEdge struct {
+	src, dst graph.VID
+	w        float32
+}
+
+// Instance is a loaded, partitioned PowerGraph graph.
+type Instance struct {
+	m        *simmachine.Machine
+	n        int
+	directed bool
+	weighted bool
+
+	shards   [][]shardEdge
+	replicas []uint64 // per-vertex shard mask
+	totalRep int64    // sum of popcounts: ghost sync volume
+
+	// Homogenized adjacency retained for apply-side degree lookups
+	// and the neighborhood kernels (CDLP/LCC).
+	out *graph.CSR
+	in  *graph.CSR
+}
+
+// Load implements engines.Engine: read, homogenize, and greedily
+// vertex-cut partition the edges, all charged as one phase.
+func (e *Engine) Load(el *graph.EdgeList, m *simmachine.Machine) (engines.Instance, error) {
+	if err := el.Validate(); err != nil {
+		return nil, err
+	}
+	out := graph.BuildCSR(el, graph.BuildOptions{
+		Symmetrize:    !el.Directed,
+		DropSelfLoops: true,
+		Dedup:         true,
+		Sort:          true,
+	})
+	var in *graph.CSR
+	if el.Directed {
+		in = graph.Transpose(out, 0)
+		in.SortAdjacency()
+	} else {
+		in = out
+	}
+	inst := &Instance{
+		m: m, n: out.NumVertices,
+		directed: el.Directed, weighted: el.Weighted,
+		out: out, in: in,
+	}
+
+	p := m.Threads()
+	if p > maxShards {
+		p = maxShards
+	}
+	if p < 1 {
+		p = 1
+	}
+	inst.shards = make([][]shardEdge, p)
+	inst.replicas = make([]uint64, inst.n)
+	loads := make([]int64, p)
+
+	place := func(src, dst graph.VID, w float32) {
+		cand := inst.replicas[src] | inst.replicas[dst]
+		best := -1
+		var bestLoad int64
+		if cand != 0 {
+			for mask := cand; mask != 0; mask &= mask - 1 {
+				s := bits.TrailingZeros64(mask)
+				if best == -1 || loads[s] < bestLoad {
+					best, bestLoad = s, loads[s]
+				}
+			}
+		} else {
+			for s := 0; s < p; s++ {
+				if best == -1 || loads[s] < bestLoad {
+					best, bestLoad = s, loads[s]
+				}
+			}
+		}
+		inst.shards[best] = append(inst.shards[best], shardEdge{src, dst, w})
+		loads[best]++
+		inst.replicas[src] |= 1 << uint(best)
+		inst.replicas[dst] |= 1 << uint(best)
+	}
+	// Partition the deduplicated directed adjacency (the engine's
+	// true edge set).
+	for v := 0; v < out.NumVertices; v++ {
+		adj := out.Neighbors(graph.VID(v))
+		ws := out.NeighborWeights(graph.VID(v))
+		for i, u := range adj {
+			var w float32
+			if ws != nil {
+				w = ws[i]
+			}
+			place(graph.VID(v), u, w)
+		}
+	}
+	for _, mask := range inst.replicas {
+		inst.totalRep += int64(bits.OnesCount64(mask))
+	}
+
+	m.FileRead(int64(len(el.Edges))*16, true)
+	m.ParallelFor(int(out.NumEdges()), 2048, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+		w.Charge(costLoadEdge.Scale(float64(hi - lo)))
+	})
+	return inst, nil
+}
+
+// BuildStructure implements engines.Instance: a no-op; partitioning
+// happened during Load.
+func (inst *Instance) BuildStructure() {}
+
+// ReplicationFactor returns the average number of shards holding each
+// non-isolated vertex — PowerGraph's classic partition quality metric.
+func (inst *Instance) ReplicationFactor() float64 {
+	present := 0
+	for _, mask := range inst.replicas {
+		if mask != 0 {
+			present++
+		}
+	}
+	if present == 0 {
+		return 0
+	}
+	return float64(inst.totalRep) / float64(present)
+}
+
+// syncGhosts charges one ghost-exchange round (every replica's state
+// shipped to its master and back).
+func (inst *Instance) syncGhosts() {
+	rep := inst.totalRep
+	inst.m.ParallelFor(int(rep), 4096, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+		w.Charge(costSyncReplica.Scale(float64(hi - lo)))
+	})
+}
+
+// gatherSweep runs one GAS gather phase: every shard scans its local
+// edges; body is invoked for edges whose source is active. The scan
+// cost covers the engine's per-edge dispatch even for inactive edges.
+func (inst *Instance) gatherSweep(active []bool, body func(e shardEdge)) {
+	shards := inst.shards
+	inst.m.ForEachThread(func(tid int, w *simmachine.W) {
+		if tid >= len(shards) {
+			return
+		}
+		var scanned, processed int64
+		for _, e := range shards[tid] {
+			scanned++
+			if active == nil || active[e.src] {
+				processed++
+				body(e)
+			}
+		}
+		w.Charge(costScanEdge.Scale(float64(scanned)))
+		w.Charge(costGatherEdge.Scale(float64(processed)))
+	})
+}
+
+// BFS implements engines.Instance: PowerGraph ships no BFS reference.
+func (inst *Instance) BFS(graph.VID) (*engines.BFSResult, error) {
+	return nil, engines.ErrUnsupported
+}

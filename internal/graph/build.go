@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// BuildOptions controls CSR construction.
+type BuildOptions struct {
+	// Workers is the number of construction goroutines; 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Symmetrize inserts the reverse of every edge, turning a
+	// directed edge list into an undirected adjacency structure
+	// (the Graph500 convention for Kronecker graphs).
+	Symmetrize bool
+	// DropSelfLoops removes u->u edges, as the Graph500 reference
+	// does during Kernel 1.
+	DropSelfLoops bool
+	// Dedup removes duplicate (src,dst) pairs after sorting. For
+	// weighted graphs the first-seen weight wins.
+	Dedup bool
+	// Sort sorts each adjacency list ascending.
+	Sort bool
+}
+
+func (o *BuildOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// BuildCSR constructs a CSR from an edge list using a two-pass
+// parallel counting-sort: pass one histograms out-degrees, pass two
+// scatters edges into place via atomic cursors. The result is
+// deterministic up to adjacency order; pass Sort for a canonical
+// structure.
+func BuildCSR(el *EdgeList, opt BuildOptions) *CSR {
+	n := el.NumVertices
+	w := opt.workers()
+
+	// Pass 1: degree histogram.
+	counts := make([]int64, n+1)
+	parallelChunks(len(el.Edges), w, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := el.Edges[i]
+			if opt.DropSelfLoops && e.Src == e.Dst {
+				continue
+			}
+			atomic.AddInt64(&counts[e.Src+1], 1)
+			if opt.Symmetrize {
+				atomic.AddInt64(&counts[e.Dst+1], 1)
+			}
+		}
+	})
+
+	// Exclusive prefix sum (serial: n+1 adds is cheap relative to
+	// the scatter pass and keeps determinism trivial).
+	for i := 1; i <= n; i++ {
+		counts[i] += counts[i-1]
+	}
+	total := counts[n]
+
+	csr := &CSR{
+		NumVertices: n,
+		Offsets:     counts,
+		Adj:         make([]VID, total),
+	}
+	if el.Weighted {
+		csr.Weights = make([]float32, total)
+	}
+
+	// Pass 2: scatter with atomic per-vertex cursors.
+	cursors := make([]int64, n)
+	copy(cursors, counts[:n])
+	parallelChunks(len(el.Edges), w, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := el.Edges[i]
+			if opt.DropSelfLoops && e.Src == e.Dst {
+				continue
+			}
+			p := atomic.AddInt64(&cursors[e.Src], 1) - 1
+			csr.Adj[p] = e.Dst
+			if el.Weighted {
+				csr.Weights[p] = e.W
+			}
+			if opt.Symmetrize {
+				q := atomic.AddInt64(&cursors[e.Dst], 1) - 1
+				csr.Adj[q] = e.Src
+				if el.Weighted {
+					csr.Weights[q] = e.W
+				}
+			}
+		}
+	})
+
+	if opt.Sort || opt.Dedup {
+		csr.SortAdjacency()
+	}
+	if opt.Dedup {
+		csr = dedupCSR(csr)
+	}
+	return csr
+}
+
+// dedupCSR removes duplicate neighbors from a sorted CSR. For
+// weighted graphs the minimum weight among parallel edges is kept:
+// a deterministic rule (independent of the order duplicates landed in
+// the adjacency) that is also the right semantics for shortest paths.
+func dedupCSR(c *CSR) *CSR {
+	out := &CSR{
+		NumVertices: c.NumVertices,
+		Offsets:     make([]int64, c.NumVertices+1),
+		Adj:         make([]VID, 0, len(c.Adj)),
+	}
+	if c.Weights != nil {
+		out.Weights = make([]float32, 0, len(c.Weights))
+	}
+	for v := 0; v < c.NumVertices; v++ {
+		lo, hi := c.Offsets[v], c.Offsets[v+1]
+		var prev VID
+		first := true
+		for i := lo; i < hi; i++ {
+			u := c.Adj[i]
+			if !first && u == prev {
+				if c.Weights != nil {
+					if w := c.Weights[i]; w < out.Weights[len(out.Weights)-1] {
+						out.Weights[len(out.Weights)-1] = w
+					}
+				}
+				continue
+			}
+			out.Adj = append(out.Adj, u)
+			if c.Weights != nil {
+				out.Weights = append(out.Weights, c.Weights[i])
+			}
+			prev, first = u, false
+		}
+		out.Offsets[v+1] = int64(len(out.Adj))
+	}
+	return out
+}
+
+// Transpose returns the reverse-adjacency CSR (in-neighbors). For a
+// symmetrized graph the transpose equals the original; engines that
+// need pull-direction iteration (GAP's bottom-up BFS, pull PageRank)
+// call this on directed graphs.
+func Transpose(c *CSR, workers int) *CSR {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := c.NumVertices
+	counts := make([]int64, n+1)
+	parallelChunks(len(c.Adj), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt64(&counts[c.Adj[i]+1], 1)
+		}
+	})
+	for i := 1; i <= n; i++ {
+		counts[i] += counts[i-1]
+	}
+	t := &CSR{
+		NumVertices: n,
+		Offsets:     counts,
+		Adj:         make([]VID, len(c.Adj)),
+	}
+	if c.Weights != nil {
+		t.Weights = make([]float32, len(c.Weights))
+	}
+	cursors := make([]int64, n)
+	copy(cursors, counts[:n])
+	for v := 0; v < n; v++ { // serial scatter keeps transpose deterministic
+		for i := c.Offsets[v]; i < c.Offsets[v+1]; i++ {
+			u := c.Adj[i]
+			p := cursors[u]
+			cursors[u]++
+			t.Adj[p] = VID(v)
+			if c.Weights != nil {
+				t.Weights[p] = c.Weights[i]
+			}
+		}
+	}
+	return t
+}
+
+// parallelChunks splits [0,n) into one contiguous chunk per worker and
+// runs body on each concurrently.
+func parallelChunks(n, workers int, body func(lo, hi int)) {
+	if workers <= 1 || n < 1024 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,174 @@
+// Package graph provides the shared graph representations used by all
+// engines: unsorted edge lists (the Graph500 "kernel 0" output) and
+// compressed sparse row (CSR) structures, along with parallel builders
+// and degree utilities.
+//
+// Vertices are dense integers in [0, N). Edge weights are float32 in
+// (0, 1], matching the Graph500 SSSP specification; unweighted graphs
+// carry a nil weight slice. All builders are deterministic for a fixed
+// input regardless of parallelism.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VID is a vertex identifier. 32 bits covers graphs up to scale 31,
+// well beyond this study's scale 23, and halves memory traffic
+// relative to int64 — the same choice the Graph500 reference makes.
+type VID = uint32
+
+// Edge is one directed edge with an optional weight. For unweighted
+// graphs W is zero and ignored.
+type Edge struct {
+	Src, Dst VID
+	W        float32
+}
+
+// EdgeList is the unstructured, unsorted edge list from which every
+// engine constructs its own data structure. It mirrors the "edge list
+// in RAM" that Graph500 Kernel 1 consumes.
+type EdgeList struct {
+	NumVertices int
+	Edges       []Edge
+	Weighted    bool
+	// Directed reports whether edges are one-way. Kronecker graphs
+	// are undirected (each edge yields both CSR directions);
+	// cit-Patents is directed.
+	Directed bool
+}
+
+// Validate checks internal consistency and returns a descriptive error
+// for the first violation found.
+func (el *EdgeList) Validate() error {
+	if el.NumVertices <= 0 {
+		return fmt.Errorf("graph: non-positive vertex count %d", el.NumVertices)
+	}
+	n := VID(el.NumVertices)
+	for i, e := range el.Edges {
+		if e.Src >= n || e.Dst >= n {
+			return fmt.Errorf("graph: edge %d (%d->%d) out of range [0,%d)", i, e.Src, e.Dst, n)
+		}
+		if el.Weighted && (e.W <= 0 || e.W > 1) {
+			return fmt.Errorf("graph: edge %d weight %v outside (0,1]", i, e.W)
+		}
+	}
+	return nil
+}
+
+// CSR is a compressed sparse row adjacency structure. Row i's
+// neighbors are Adj[Offsets[i]:Offsets[i+1]]; when the graph is
+// weighted, Weights runs parallel to Adj.
+//
+// For undirected graphs each input edge appears in both directions.
+// Self-loops are dropped at construction (as in the Graph500
+// reference); duplicate edges are kept unless the builder is asked to
+// deduplicate.
+type CSR struct {
+	NumVertices int
+	Offsets     []int64 // len NumVertices+1
+	Adj         []VID
+	Weights     []float32 // nil when unweighted
+}
+
+// NumEdges returns the number of stored directed adjacency entries.
+func (c *CSR) NumEdges() int64 { return int64(len(c.Adj)) }
+
+// Degree returns the out-degree of v.
+func (c *CSR) Degree(v VID) int64 {
+	return c.Offsets[v+1] - c.Offsets[v]
+}
+
+// Neighbors returns the adjacency slice of v. The caller must not
+// modify it.
+func (c *CSR) Neighbors(v VID) []VID {
+	return c.Adj[c.Offsets[v]:c.Offsets[v+1]]
+}
+
+// NeighborWeights returns the weight slice parallel to Neighbors(v).
+// It returns nil for unweighted graphs.
+func (c *CSR) NeighborWeights(v VID) []float32 {
+	if c.Weights == nil {
+		return nil
+	}
+	return c.Weights[c.Offsets[v]:c.Offsets[v+1]]
+}
+
+// Validate checks the structural invariants of the CSR.
+func (c *CSR) Validate() error {
+	if c.NumVertices < 0 {
+		return fmt.Errorf("graph: negative vertex count")
+	}
+	if len(c.Offsets) != c.NumVertices+1 {
+		return fmt.Errorf("graph: offsets length %d, want %d", len(c.Offsets), c.NumVertices+1)
+	}
+	if c.Offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", c.Offsets[0])
+	}
+	for i := 0; i < c.NumVertices; i++ {
+		if c.Offsets[i] > c.Offsets[i+1] {
+			return fmt.Errorf("graph: offsets not monotone at %d", i)
+		}
+	}
+	if c.Offsets[c.NumVertices] != int64(len(c.Adj)) {
+		return fmt.Errorf("graph: offsets end %d, adj length %d", c.Offsets[c.NumVertices], len(c.Adj))
+	}
+	if c.Weights != nil && len(c.Weights) != len(c.Adj) {
+		return fmt.Errorf("graph: weights length %d, adj length %d", len(c.Weights), len(c.Adj))
+	}
+	n := VID(c.NumVertices)
+	for i, v := range c.Adj {
+		if v >= n {
+			return fmt.Errorf("graph: adj[%d] = %d out of range", i, v)
+		}
+	}
+	return nil
+}
+
+// SortAdjacency sorts each vertex's neighbor list ascending (weights
+// permuted alongside). Sorted adjacency improves locality and is
+// required by the LCC intersection kernels.
+func (c *CSR) SortAdjacency() {
+	for v := 0; v < c.NumVertices; v++ {
+		lo, hi := c.Offsets[v], c.Offsets[v+1]
+		if hi-lo < 2 {
+			continue
+		}
+		adj := c.Adj[lo:hi]
+		if c.Weights == nil {
+			sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+			continue
+		}
+		w := c.Weights[lo:hi]
+		idx := make([]int, len(adj))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(i, j int) bool { return adj[idx[i]] < adj[idx[j]] })
+		na := make([]VID, len(adj))
+		nw := make([]float32, len(w))
+		for i, k := range idx {
+			na[i], nw[i] = adj[k], w[k]
+		}
+		copy(adj, na)
+		copy(w, nw)
+	}
+}
+
+// HasEdge reports whether u has v in its sorted adjacency list. The
+// adjacency must have been sorted with SortAdjacency.
+func (c *CSR) HasEdge(u, v VID) bool {
+	adj := c.Neighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return i < len(adj) && adj[i] == v
+}
+
+// OutDegrees returns the out-degree of every vertex.
+func (c *CSR) OutDegrees() []int64 {
+	d := make([]int64, c.NumVertices)
+	for v := 0; v < c.NumVertices; v++ {
+		d[v] = c.Offsets[v+1] - c.Offsets[v]
+	}
+	return d
+}

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/hpcl-repro/epg/internal/datasets"
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/kronecker"
+)
+
+// DatasetOptions parameterizes dataset resolution.
+type DatasetOptions struct {
+	// Seed for synthetic generation.
+	Seed uint64
+	// RealWorldDivisor shrinks the synthetic Dota-League and
+	// cit-Patents analogues (1 = published full size).
+	RealWorldDivisor int
+	// EdgeFactor overrides the Kronecker edge factor (default 16).
+	EdgeFactor int
+}
+
+// ResolveDataset materializes a named dataset:
+//
+//   - "kron-<scale>": Graph500 Kronecker graph of that scale;
+//   - "dota-league": the dense weighted Dota-League analogue;
+//   - "cit-Patents": the sparse citation-network analogue.
+func ResolveDataset(name string, opt DatasetOptions) (*graph.EdgeList, error) {
+	switch {
+	case strings.HasPrefix(name, "kron-"):
+		scale, err := strconv.Atoi(strings.TrimPrefix(name, "kron-"))
+		if err != nil || scale < 1 {
+			return nil, fmt.Errorf("harness: bad kronecker dataset %q", name)
+		}
+		return kronecker.Generate(kronecker.Params{
+			Scale:      scale,
+			EdgeFactor: opt.EdgeFactor,
+			Seed:       opt.Seed,
+		}), nil
+	case name == string(datasets.DotaLeague):
+		return datasets.GenerateDotaLeague(datasets.Config{
+			ScaleDivisor: opt.RealWorldDivisor,
+			Seed:         opt.Seed,
+		}), nil
+	case name == string(datasets.CitPatents):
+		return datasets.GenerateCitPatents(datasets.Config{
+			ScaleDivisor: opt.RealWorldDivisor,
+			Seed:         opt.Seed,
+		}), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown dataset %q (want kron-<scale>, %s, or %s)",
+			name, datasets.DotaLeague, datasets.CitPatents)
+	}
+}

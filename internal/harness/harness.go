@@ -1,0 +1,231 @@
+// Package harness executes experiments: it resolves datasets, drives
+// every engine through the framework's phases (file read, structure
+// construction, algorithm runs over 32 roots), meters power on
+// request, and produces normalized result records.
+//
+// Timing follows the paper's methodology: the file read is never
+// mixed into an algorithm measurement; construction is measured
+// separately for the engines that expose it (GAP, Graph500,
+// GraphMat); each algorithm run is a separate measurement window.
+// Modeled machine time is the primary clock; wall-clock time of this
+// process is recorded alongside for transparency.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hpcl-repro/epg/internal/core"
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/power"
+	"github.com/hpcl-repro/epg/internal/simmachine"
+)
+
+// BytesPerTextEdge estimates the on-disk size of one SNAP text edge
+// (two decimal IDs, separators, optional weight).
+const BytesPerTextEdge = 16
+
+// Runner executes specs against a set of engines.
+type Runner struct {
+	Registry *engines.Registry
+	Model    simmachine.Model
+	Power    power.Constants
+}
+
+// NewRunner returns a runner over the given registry with the paper's
+// machine calibration.
+func NewRunner(reg *engines.Registry) *Runner {
+	return &Runner{
+		Registry: reg,
+		Model:    simmachine.Haswell72(),
+		Power:    power.DefaultConstants(),
+	}
+}
+
+// engineNames resolves the spec's engine list, defaulting to every
+// registered engine that supports the algorithm.
+func (r *Runner) engineNames(spec core.Spec) ([]string, error) {
+	names := spec.Engines
+	if len(names) == 0 {
+		names = r.Registry.Names()
+	}
+	var out []string
+	for _, name := range names {
+		eng, err := r.Registry.New(name)
+		if err != nil {
+			return nil, err
+		}
+		if eng.Has(spec.Algorithm) {
+			out = append(out, name)
+		} else if len(spec.Engines) > 0 {
+			// Explicitly requested but unsupported: surface it.
+			return nil, fmt.Errorf("harness: %s does not implement %s", name, spec.Algorithm)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("harness: no engine supports %s", spec.Algorithm)
+	}
+	return out, nil
+}
+
+// Run executes the spec on the provided in-memory edge list and
+// returns one result per (engine, root).
+func (r *Runner) Run(spec core.Spec, el *graph.EdgeList) ([]core.Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	names, err := r.engineNames(spec)
+	if err != nil {
+		return nil, err
+	}
+	// Roots are selected once, on the homogenized graph, and shared
+	// by every engine — the paper uses the same 32 roots across
+	// systems (and reuses BFS roots for SSSP).
+	csr := graph.BuildCSR(el, graph.BuildOptions{
+		Symmetrize:    !el.Directed,
+		DropSelfLoops: true,
+		Dedup:         true,
+	})
+	roots := core.SelectRoots(csr, spec.NumRoots(), spec.Seed)
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("harness: graph has no roots with degree > 1")
+	}
+
+	var results []core.Result
+	for _, name := range names {
+		rs, err := r.runEngine(spec, el, name, roots)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", name, err)
+		}
+		results = append(results, rs...)
+	}
+	return results, nil
+}
+
+// runEngine executes all roots of one engine.
+func (r *Runner) runEngine(spec core.Spec, el *graph.EdgeList, name string, roots []graph.VID) ([]core.Result, error) {
+	eng, err := r.Registry.New(name)
+	if err != nil {
+		return nil, err
+	}
+	m := simmachine.New(r.Model, spec.Threads)
+
+	var fileReadSec, constructionSec float64
+	if eng.SeparateConstruction() {
+		// Model the file read distinctly, then time construction.
+		m.FileRead(int64(len(el.Edges))*BytesPerTextEdge, true)
+		fileReadSec = m.Elapsed()
+	}
+	loadStart := m.Elapsed()
+	inst, err := eng.Load(el, m)
+	if err != nil {
+		return nil, err
+	}
+	if eng.SeparateConstruction() {
+		buildStart := m.Elapsed()
+		inst.BuildStructure()
+		constructionSec = m.Elapsed() - buildStart
+	} else {
+		// Combined read+build happened inside Load.
+		fileReadSec = m.Elapsed() - loadStart
+	}
+
+	perTrial := func(trial int) (core.Result, error) {
+		res := core.Result{
+			Engine:          name,
+			Dataset:         spec.Dataset,
+			Algorithm:       spec.Algorithm,
+			Threads:         spec.Threads,
+			Trial:           trial,
+			Root:            roots[trial%len(roots)],
+			FileReadSec:     fileReadSec,
+			ConstructionSec: constructionSec,
+			HasConstruction: eng.SeparateConstruction(),
+		}
+		var meter *power.RAPL
+		if spec.MeasurePower {
+			meter = power.NewRAPL(m, r.Power)
+			meter.Start()
+		}
+		_, t0 := m.Mark()
+		wall0 := time.Now()
+		out, err := engines.RunAlgorithm(inst, spec.Algorithm, res.Root)
+		if err != nil {
+			return res, err
+		}
+		res.WallSec = time.Since(wall0).Seconds()
+		_, t1 := m.Mark()
+		res.AlgorithmSec = t1 - t0
+		if meter != nil {
+			rd := meter.End()
+			res.CPUJoules = rd.CPUJoules
+			res.RAMJoules = rd.RAMJoules
+			res.AvgCPUWatts = rd.AvgCPUWatts()
+			res.AvgRAMWatts = rd.AvgRAMWatts()
+		}
+		switch v := out.(type) {
+		case *engines.BFSResult:
+			res.EdgesExamined = v.EdgesExamined
+		case *engines.SSSPResult:
+			res.EdgesExamined = v.Relaxations
+		case *engines.PRResult:
+			res.Iterations = v.Iterations
+		case *engines.CDLPResult:
+			res.Iterations = v.Iterations
+		}
+		return res, nil
+	}
+
+	trials := spec.NumRoots()
+	if spec.Algorithm == engines.LCC || spec.Algorithm == engines.WCC {
+		// Root-independent kernels: the paper's 32 repetitions are
+		// about variance; the harness keeps them unless the spec
+		// asked for fewer.
+		trials = spec.NumRoots()
+	}
+	results := make([]core.Result, 0, trials)
+	for trial := 0; trial < trials; trial++ {
+		res, err := perTrial(trial)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// SweepPoint is one (engine, threads) aggregate of a scaling sweep.
+type SweepPoint struct {
+	Engine  string
+	Threads int
+	// Seconds per trial (modeled algorithm time).
+	Seconds []float64
+}
+
+// Sweep measures the algorithm across thread counts for Figs. 5/6.
+// Trials defaults to 4, matching the paper ("because of timing
+// considerations, only four trials were run").
+func (r *Runner) Sweep(spec core.Spec, el *graph.EdgeList, threadCounts []int, trials int) ([]SweepPoint, error) {
+	if trials <= 0 {
+		trials = 4
+	}
+	var out []SweepPoint
+	for _, tc := range threadCounts {
+		s := spec
+		s.Threads = tc
+		s.Roots = trials
+		rs, err := r.Run(s, el)
+		if err != nil {
+			return nil, err
+		}
+		byEngine := map[string][]float64{}
+		for _, res := range rs {
+			byEngine[res.Engine] = append(byEngine[res.Engine], res.AlgorithmSec)
+		}
+		for eng, secs := range byEngine {
+			out = append(out, SweepPoint{Engine: eng, Threads: tc, Seconds: secs})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package kronecker
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/xrand"
+)
+
+func TestSizes(t *testing.T) {
+	p := Params{Scale: 10, Seed: 1}
+	el := Generate(p)
+	if el.NumVertices != 1024 {
+		t.Errorf("vertices = %d, want 1024", el.NumVertices)
+	}
+	if len(el.Edges) != 16*1024 {
+		t.Errorf("edges = %d, want %d", len(el.Edges), 16*1024)
+	}
+	if !el.Weighted {
+		t.Error("Kronecker graphs must be weighted")
+	}
+	if err := el.Validate(); err != nil {
+		t.Fatalf("invalid edge list: %v", err)
+	}
+}
+
+func TestCustomEdgeFactor(t *testing.T) {
+	el := Generate(Params{Scale: 8, EdgeFactor: 4, Seed: 1})
+	if len(el.Edges) != 4*256 {
+		t.Errorf("edges = %d, want %d", len(el.Edges), 4*256)
+	}
+}
+
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	a := Generate(Params{Scale: 10, Seed: 42, Workers: 1})
+	b := Generate(Params{Scale: 10, Seed: 42, Workers: 7})
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("edge counts differ")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a.Edges[i], b.Edges[i])
+		}
+	}
+}
+
+func TestSeedsProduceDifferentGraphs(t *testing.T) {
+	a := Generate(Params{Scale: 8, Seed: 1})
+	b := Generate(Params{Scale: 8, Seed: 2})
+	same := 0
+	for i := range a.Edges {
+		if a.Edges[i].Src == b.Edges[i].Src && a.Edges[i].Dst == b.Edges[i].Dst {
+			same++
+		}
+	}
+	if same == len(a.Edges) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestWeightsInRange(t *testing.T) {
+	el := Generate(Params{Scale: 9, Seed: 3})
+	for i, e := range el.Edges {
+		if e.W <= 0 || e.W > 1 {
+			t.Fatalf("edge %d weight %v outside (0,1]", i, e.W)
+		}
+	}
+}
+
+// The RMAT skew should concentrate degree mass: with A=0.57 the top 1%
+// of vertices by degree should hold well over 5% of all edges
+// (in practice ~30%+). This catches accidentally-uniform sampling.
+func TestDegreeSkew(t *testing.T) {
+	el := Generate(Params{Scale: 12, Seed: 5})
+	csr := graph.BuildCSR(el, graph.BuildOptions{Symmetrize: true, DropSelfLoops: true})
+	deg := csr.OutDegrees()
+	// Partial selection: find the degree sum of the top 1%.
+	topK := len(deg) / 100
+	// Simple selection via histogram of sorted copy.
+	sorted := make([]int64, len(deg))
+	copy(sorted, deg)
+	// insertion into max-heap is overkill; sort is fine at this size
+	sortInt64s(sorted)
+	var top, total int64
+	for _, d := range sorted {
+		total += d
+	}
+	for i := len(sorted) - topK; i < len(sorted); i++ {
+		top += sorted[i]
+	}
+	if frac := float64(top) / float64(total); frac < 0.05 {
+		t.Errorf("top 1%% of vertices hold only %.1f%% of edges; degree distribution not skewed", frac*100)
+	}
+}
+
+func sortInt64s(x []int64) {
+	// small local quicksort to avoid importing sort for int64
+	var qs func(lo, hi int)
+	qs = func(lo, hi int) {
+		if lo >= hi {
+			return
+		}
+		p := x[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for x[i] < p {
+				i++
+			}
+			for x[j] > p {
+				j--
+			}
+			if i <= j {
+				x[i], x[j] = x[j], x[i]
+				i++
+				j--
+			}
+		}
+		qs(lo, j)
+		qs(i, hi)
+	}
+	qs(0, len(x)-1)
+}
+
+// Property: all generated endpoints are in range for random seeds.
+func TestEndpointsInRangeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		el := Generate(Params{Scale: 6, Seed: seed})
+		n := graph.VID(el.NumVertices)
+		for _, e := range el.Edges {
+			if e.Src >= n || e.Dst >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the vertex permutation is a bijection.
+func TestPermutationBijective(t *testing.T) {
+	f := func(seed uint64) bool {
+		perm := vertexPermutation(256, seed)
+		seen := make([]bool, 256)
+		for _, v := range perm {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleEdgeBits(t *testing.T) {
+	// At scale 1 only vertices 0 and 1 exist.
+	r := xrand.New(9)
+	for i := 0; i < 100; i++ {
+		s, d := sampleEdge(1, r)
+		if s > 1 || d > 1 {
+			t.Fatalf("scale-1 sample out of range: %d, %d", s, d)
+		}
+	}
+}
+
+func TestScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for scale 0")
+		}
+	}()
+	Generate(Params{Scale: 0})
+}
+
+func BenchmarkGenerateScale16(b *testing.B) {
+	p := Params{Scale: 16, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Generate(p)
+	}
+}

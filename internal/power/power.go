@@ -1,0 +1,171 @@
+// Package power models CPU-package and DRAM power the way the paper
+// measures it through PAPI's RAPL interface, and exposes an API that
+// mirrors the paper's Fig. 10 instrumentation
+// (power_rapl_init/start/end/print).
+//
+// Real RAPL reads model-specific registers that this environment (and
+// any non-Intel host — a portability limit the paper itself notes)
+// cannot access. Instead, power is computed from the simulated
+// machine's activity trace: every region contributes package power as
+// a function of active lanes, instruction throughput, and atomic-
+// operation rate, and DRAM power as a function of memory traffic.
+// Idle (sleeping) power matches the paper's own calibration: Table III
+// implies Sleeping Energy / Time ≈ 24.7 W on their server, which we
+// split between package and DRAM planes.
+//
+// Integrating P(t) over a measurement window yields energy in joules,
+// exactly what PAPI returns (RAPL reports energy, not power).
+package power
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/hpcl-repro/epg/internal/simmachine"
+)
+
+// Constants calibrated against the paper's Table III and Fig. 9 (see
+// package comment). Units: watts, or watts per unit rate.
+type Constants struct {
+	// Idle plane power.
+	CPUIdleWatts float64
+	RAMIdleWatts float64
+
+	// CPU dynamic power: per busy lane (scaled by utilization), per
+	// 1e9 cycles/s of aggregate instruction throughput, and per 1e6
+	// atomics/s (contended RMWs keep execution units and the
+	// coherence fabric busy).
+	LaneWatts       float64
+	ThroughputWatts float64 // per Gcycle/s
+	AtomicWatts     float64 // per Matomic/s
+
+	// DRAM dynamic power per GB/s of traffic.
+	BandwidthWatts float64
+}
+
+// DefaultConstants returns the Haswell-EP calibration.
+func DefaultConstants() Constants {
+	return Constants{
+		CPUIdleWatts:    15.5,
+		RAMIdleWatts:    9.2,
+		LaneWatts:       1.55,
+		ThroughputWatts: 0.10,
+		AtomicWatts:     0.05,
+		BandwidthWatts:  0.22,
+	}
+}
+
+// SleepWatts returns the total (CPU+RAM) idle draw, the quantity the
+// paper measures with a ten-second sleep().
+func (c Constants) SleepWatts() float64 { return c.CPUIdleWatts + c.RAMIdleWatts }
+
+// regionPower returns (cpuWatts, ramWatts) during the given region.
+func (c Constants) regionPower(r simmachine.Region) (float64, float64) {
+	cpu := c.CPUIdleWatts
+	ram := c.RAMIdleWatts
+	if r.Seconds <= 0 {
+		return cpu, ram
+	}
+	if r.ActiveLanes > 0 {
+		busyLanes := float64(r.ActiveLanes)
+		if r.Lanes > 0 {
+			busyLanes = float64(r.Lanes) * r.Utilization
+		}
+		cpu += c.LaneWatts * busyLanes
+		cpu += c.ThroughputWatts * (r.Cost.Cycles / r.Seconds / 1e9)
+		cpu += c.AtomicWatts * (r.Cost.Atomics / r.Seconds / 1e6)
+	}
+	ram += c.BandwidthWatts * (r.Cost.Bytes / r.Seconds / 1e9)
+	return cpu, ram
+}
+
+// Reading is the result of one measurement window, in the units PAPI
+// reports (joules; derived averages in watts).
+type Reading struct {
+	Seconds   float64
+	CPUJoules float64
+	RAMJoules float64
+}
+
+// TotalJoules returns package + DRAM energy.
+func (r Reading) TotalJoules() float64 { return r.CPUJoules + r.RAMJoules }
+
+// AvgCPUWatts returns mean package power over the window.
+func (r Reading) AvgCPUWatts() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return r.CPUJoules / r.Seconds
+}
+
+// AvgRAMWatts returns mean DRAM power over the window.
+func (r Reading) AvgRAMWatts() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return r.RAMJoules / r.Seconds
+}
+
+// AvgWatts returns mean total power over the window.
+func (r Reading) AvgWatts() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return r.TotalJoules() / r.Seconds
+}
+
+// Print writes the reading in the spirit of power_rapl_print.
+func (r Reading) Print(w io.Writer) {
+	fmt.Fprintf(w, "PACKAGE_ENERGY: %.6f J\n", r.CPUJoules)
+	fmt.Fprintf(w, "DRAM_ENERGY:    %.6f J\n", r.RAMJoules)
+	fmt.Fprintf(w, "ELAPSED:        %.6f s\n", r.Seconds)
+	fmt.Fprintf(w, "AVG_POWER:      %.3f W (cpu %.3f, dram %.3f)\n",
+		r.AvgWatts(), r.AvgCPUWatts(), r.AvgRAMWatts())
+}
+
+// RAPL is a measurement session bound to a machine, mirroring the
+// power_rapl_t of the paper's Fig. 10.
+type RAPL struct {
+	m         *simmachine.Machine
+	c         Constants
+	startIdx  int
+	startTime float64
+	running   bool
+}
+
+// NewRAPL initializes a session (power_rapl_init).
+func NewRAPL(m *simmachine.Machine, c Constants) *RAPL {
+	return &RAPL{m: m, c: c}
+}
+
+// Start begins a measurement window (power_rapl_start).
+func (p *RAPL) Start() {
+	p.startIdx, p.startTime = p.m.Mark()
+	p.running = true
+}
+
+// End closes the window and returns its reading (power_rapl_end).
+func (p *RAPL) End() Reading {
+	if !p.running {
+		return Reading{}
+	}
+	p.running = false
+	endIdx, endTime := p.m.Mark()
+	trace := p.m.Trace()
+	rd := Reading{Seconds: endTime - p.startTime}
+	for _, reg := range trace[p.startIdx:endIdx] {
+		cpuW, ramW := p.c.regionPower(reg)
+		rd.CPUJoules += cpuW * reg.Seconds
+		rd.RAMJoules += ramW * reg.Seconds
+	}
+	return rd
+}
+
+// MeasureSleep reproduces the paper's baseline: the machine sleeps for
+// the given duration and the reading reports the idle draw.
+func MeasureSleep(m *simmachine.Machine, c Constants, seconds float64) Reading {
+	r := NewRAPL(m, c)
+	r.Start()
+	m.Sleep(seconds)
+	return r.End()
+}

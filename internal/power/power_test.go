@@ -1,0 +1,183 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/hpcl-repro/epg/internal/simmachine"
+)
+
+func machine(threads int) *simmachine.Machine {
+	return simmachine.New(simmachine.Haswell72(), threads)
+}
+
+func TestSleepBaselineMatchesPaper(t *testing.T) {
+	c := DefaultConstants()
+	// Table III implies ~24.7 W idle (e.g. 0.4046 J / 0.01636 s).
+	if w := c.SleepWatts(); math.Abs(w-24.7) > 0.2 {
+		t.Errorf("sleep watts = %v, want ~24.7", w)
+	}
+	m := machine(32)
+	rd := MeasureSleep(m, c, 10)
+	if math.Abs(rd.Seconds-10) > 1e-9 {
+		t.Errorf("sleep window = %v s", rd.Seconds)
+	}
+	if got := rd.AvgWatts(); math.Abs(got-c.SleepWatts()) > 1e-9 {
+		t.Errorf("sleep power = %v, want %v", got, c.SleepWatts())
+	}
+}
+
+func TestBusyDrawsMoreThanIdle(t *testing.T) {
+	c := DefaultConstants()
+	m := machine(32)
+	r := NewRAPL(m, c)
+	r.Start()
+	m.ParallelFor(3200, 1, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+		w.Cycles(1e7)
+		w.Bytes(1e5)
+	})
+	rd := r.End()
+	if rd.Seconds <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	if rd.AvgWatts() <= c.SleepWatts() {
+		t.Errorf("busy power %v not above idle %v", rd.AvgWatts(), c.SleepWatts())
+	}
+	if rd.AvgCPUWatts() <= c.CPUIdleWatts {
+		t.Error("cpu plane not above idle")
+	}
+	if rd.AvgRAMWatts() <= c.RAMIdleWatts {
+		t.Error("ram plane not above idle")
+	}
+}
+
+func TestPowerInPlausibleBand(t *testing.T) {
+	// A 32-thread compute+atomic-heavy BFS-like load should land in
+	// the paper's observed 60–110 W package band.
+	c := DefaultConstants()
+	m := machine(32)
+	r := NewRAPL(m, c)
+	r.Start()
+	m.ParallelFor(32*64, 1, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+		w.Cycles(2e6)
+		w.Atomics(5e3) // ~1 atomic per 400 cycles, BFS-claim territory
+		w.Bytes(1e6)
+	})
+	rd := r.End()
+	if w := rd.AvgCPUWatts(); w < 55 || w > 115 {
+		t.Errorf("cpu power %v W outside plausible Haswell band", w)
+	}
+	if w := rd.AvgRAMWatts(); w < 9 || w > 25 {
+		t.Errorf("ram power %v W outside plausible band", w)
+	}
+}
+
+func TestMoreThreadsMorePower(t *testing.T) {
+	c := DefaultConstants()
+	measure := func(threads int) float64 {
+		m := machine(threads)
+		r := NewRAPL(m, c)
+		r.Start()
+		m.ParallelFor(threads, 1, simmachine.Static, func(lo, hi int, w *simmachine.W) {
+			w.Cycles(1e8)
+		})
+		return r.End().AvgCPUWatts()
+	}
+	p1, p32 := measure(1), measure(32)
+	if p32 <= p1 {
+		t.Errorf("32-thread power %v not above 1-thread %v", p32, p1)
+	}
+}
+
+func TestEnergyIsPowerTimesTime(t *testing.T) {
+	c := DefaultConstants()
+	m := machine(4)
+	r := NewRAPL(m, c)
+	r.Start()
+	m.Sleep(2)
+	rd := r.End()
+	want := c.SleepWatts() * 2
+	if math.Abs(rd.TotalJoules()-want) > 1e-9 {
+		t.Errorf("energy = %v, want %v", rd.TotalJoules(), want)
+	}
+}
+
+func TestWindowsAreDisjoint(t *testing.T) {
+	c := DefaultConstants()
+	m := machine(2)
+	r := NewRAPL(m, c)
+
+	r.Start()
+	m.Serial(func(w *simmachine.W) { w.Cycles(3.6e9) })
+	first := r.End()
+
+	r.Start()
+	m.Serial(func(w *simmachine.W) { w.Cycles(7.2e9) })
+	second := r.End()
+
+	if math.Abs(second.Seconds-2*first.Seconds) > 1e-9 {
+		t.Errorf("windows overlap: %v vs %v", first.Seconds, second.Seconds)
+	}
+}
+
+func TestEndWithoutStart(t *testing.T) {
+	r := NewRAPL(machine(1), DefaultConstants())
+	if rd := r.End(); rd.Seconds != 0 || rd.TotalJoules() != 0 {
+		t.Errorf("unstarted End() = %+v", rd)
+	}
+}
+
+func TestZeroWindow(t *testing.T) {
+	r := NewRAPL(machine(1), DefaultConstants())
+	r.Start()
+	rd := r.End()
+	if rd.AvgWatts() != 0 {
+		t.Errorf("zero window avg = %v", rd.AvgWatts())
+	}
+}
+
+func TestReadingPrint(t *testing.T) {
+	var sb strings.Builder
+	Reading{Seconds: 1, CPUJoules: 70, RAMJoules: 10}.Print(&sb)
+	out := sb.String()
+	for _, want := range []string{"PACKAGE_ENERGY", "DRAM_ENERGY", "ELAPSED", "AVG_POWER", "80.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("print output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAtomicsRaisePower(t *testing.T) {
+	c := DefaultConstants()
+	run := func(atomics float64) float64 {
+		m := machine(16)
+		r := NewRAPL(m, c)
+		r.Start()
+		m.ParallelFor(16, 1, simmachine.Static, func(lo, hi int, w *simmachine.W) {
+			w.Cycles(1e7)
+			w.Atomics(atomics)
+		})
+		return r.End().AvgCPUWatts()
+	}
+	if lo, hi := run(0), run(1e5); hi <= lo {
+		t.Errorf("atomic-heavy power %v not above atomic-free %v", hi, lo)
+	}
+}
+
+func TestMemoryTrafficRaisesRAMPower(t *testing.T) {
+	c := DefaultConstants()
+	run := func(bytes float64) float64 {
+		m := machine(16)
+		r := NewRAPL(m, c)
+		r.Start()
+		m.ParallelFor(16, 1, simmachine.Static, func(lo, hi int, w *simmachine.W) {
+			w.Cycles(1e7)
+			w.Bytes(bytes)
+		})
+		return r.End().AvgRAMWatts()
+	}
+	if lo, hi := run(0), run(1e8); hi <= lo {
+		t.Errorf("traffic-heavy RAM power %v not above idle %v", hi, lo)
+	}
+}

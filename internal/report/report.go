@@ -1,0 +1,326 @@
+// Package report renders the paper's tables and figures from
+// normalized results: aligned text tables (Tables I-III), ASCII box
+// plots and series (Figs. 2-6, 8, 9), and CSV exports for external
+// plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/hpcl-repro/epg/internal/core"
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/stats"
+)
+
+// Group aggregates results by (engine) within one dataset+algorithm.
+func groupTimes(results []core.Result, pick func(core.Result) float64) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, r := range results {
+		out[r.Engine] = append(out[r.Engine], pick(r))
+	}
+	return out
+}
+
+// sortedKeys returns map keys in presentation order: known engines
+// first (paper order), then the rest alphabetically.
+var engineOrder = map[string]int{
+	"Graph500": 0, "GAP": 1, "GraphBIG": 2, "GraphMat": 3, "PowerGraph": 4,
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		oi, iOK := engineOrder[keys[i]]
+		oj, jOK := engineOrder[keys[j]]
+		switch {
+		case iOK && jOK:
+			return oi < oj
+		case iOK:
+			return true
+		case jOK:
+			return false
+		default:
+			return keys[i] < keys[j]
+		}
+	})
+	return keys
+}
+
+// Table writes an aligned text table. Rows are [label, cells...].
+func Table(w io.Writer, title string, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// FormatSeconds renders a duration the way the paper's tables do.
+func FormatSeconds(s float64) string {
+	switch {
+	case s == 0:
+		return "N/A"
+	case s >= 100:
+		return fmt.Sprintf("%.1f", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f", s)
+	default:
+		return fmt.Sprintf("%.4g", s)
+	}
+}
+
+// BoxPlot renders labeled five-number summaries on a shared
+// horizontal axis. With logScale, positions use log10 (the paper's
+// Figs. 2-4 use logarithmic y-axes).
+func BoxPlot(w io.Writer, title string, series map[string][]float64, logScale bool) {
+	fmt.Fprintln(w, title)
+	if len(series) == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	type row struct {
+		name string
+		f    stats.FiveNum
+	}
+	var rows []row
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, name := range sortedKeys(series) {
+		f := stats.Summarize(series[name])
+		rows = append(rows, row{name, f})
+		if f.Min < lo {
+			lo = f.Min
+		}
+		if f.Max > hi {
+			hi = f.Max
+		}
+	}
+	xform := func(v float64) float64 { return v }
+	if logScale {
+		if lo <= 0 {
+			logScale = false
+		} else {
+			xform = math.Log10
+		}
+	}
+	tlo, thi := xform(lo), xform(hi)
+	span := thi - tlo
+	if span <= 0 {
+		span = 1
+	}
+	const width = 48
+	pos := func(v float64) int {
+		p := int((xform(v) - tlo) / span * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	nameW := 0
+	for _, r := range rows {
+		if len(r.name) > nameW {
+			nameW = len(r.name)
+		}
+	}
+	for _, r := range rows {
+		canvas := []byte(strings.Repeat(" ", width))
+		for i := pos(r.f.Min); i <= pos(r.f.Max); i++ {
+			canvas[i] = '-'
+		}
+		for i := pos(r.f.Q1); i <= pos(r.f.Q3); i++ {
+			canvas[i] = '='
+		}
+		canvas[pos(r.f.Min)] = '|'
+		canvas[pos(r.f.Max)] = '|'
+		canvas[pos(r.f.Q1)] = '['
+		canvas[pos(r.f.Q3)] = ']'
+		canvas[pos(r.f.Median)] = '#'
+		fmt.Fprintf(w, "  %s %s  med=%s n=%d\n",
+			pad(r.name, nameW), string(canvas), FormatSeconds(r.f.Median), r.f.N)
+	}
+	scaleName := "linear"
+	if logScale {
+		scaleName = "log10"
+	}
+	fmt.Fprintf(w, "  %s %s  axis: %s .. %s (%s)\n",
+		pad("", nameW), strings.Repeat("~", width), FormatSeconds(lo), FormatSeconds(hi), scaleName)
+}
+
+// TimeBoxFigure renders a Fig. 2/3/4-style algorithm-time panel.
+func TimeBoxFigure(w io.Writer, title string, results []core.Result) {
+	BoxPlot(w, title, groupTimes(results, func(r core.Result) float64 { return r.AlgorithmSec }), true)
+}
+
+// ConstructionFigure renders the construction-time panel, restricted
+// to the engines that report a separate construction phase (the paper
+// omits GraphBIG/PowerGraph from these panels).
+func ConstructionFigure(w io.Writer, title string, results []core.Result) {
+	filtered := map[string][]float64{}
+	for _, r := range results {
+		if r.HasConstruction && r.Trial == 0 {
+			filtered[r.Engine] = append(filtered[r.Engine], r.ConstructionSec)
+		}
+	}
+	BoxPlot(w, title, filtered, false)
+}
+
+// IterationsFigure renders Fig. 4's right panel: PageRank iteration
+// counts per engine.
+func IterationsFigure(w io.Writer, title string, results []core.Result) {
+	fmt.Fprintln(w, title)
+	byEngine := map[string][]float64{}
+	for _, r := range results {
+		byEngine[r.Engine] = append(byEngine[r.Engine], float64(r.Iterations))
+	}
+	for _, name := range sortedKeys(byEngine) {
+		m := stats.Mean(byEngine[name])
+		bar := strings.Repeat("*", int(math.Min(m/2, 72)))
+		fmt.Fprintf(w, "  %-12s %4.0f %s\n", name, m, bar)
+	}
+}
+
+// ScalingFigure renders Figs. 5/6 from sweep aggregates: one series
+// per engine, speedup and efficiency at each thread count.
+func ScalingFigure(w io.Writer, title string, byEngine map[string]map[int]float64) error {
+	fmt.Fprintln(w, title)
+	header := []string{"engine", "threads", "seconds", "speedup", "efficiency"}
+	var rows [][]string
+	for _, name := range sortedKeys(byEngine) {
+		pts, err := stats.Scaling(byEngine[name])
+		if err != nil {
+			return fmt.Errorf("report: %s: %w", name, err)
+		}
+		for _, p := range pts {
+			rows = append(rows, []string{
+				name, fmt.Sprint(p.Threads), FormatSeconds(p.Seconds),
+				fmt.Sprintf("%.2f", p.Speedup), fmt.Sprintf("%.3f", p.Efficiency),
+			})
+		}
+	}
+	Table(w, "", header, rows)
+	return nil
+}
+
+// RealWorldFigure renders Fig. 8: mean algorithm time per
+// (algorithm, dataset, engine).
+func RealWorldFigure(w io.Writer, results []core.Result) {
+	type key struct {
+		alg     engines.Algorithm
+		dataset string
+	}
+	groups := map[key]map[string][]float64{}
+	for _, r := range results {
+		k := key{r.Algorithm, r.Dataset}
+		if groups[k] == nil {
+			groups[k] = map[string][]float64{}
+		}
+		groups[k][r.Engine] = append(groups[k][r.Engine], r.AlgorithmSec)
+	}
+	var keys []key
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].alg != keys[j].alg {
+			return keys[i].alg < keys[j].alg
+		}
+		return keys[i].dataset < keys[j].dataset
+	})
+	header := []string{"algorithm", "dataset", "engine", "mean_s"}
+	var rows [][]string
+	for _, k := range keys {
+		for _, eng := range sortedKeys(groups[k]) {
+			rows = append(rows, []string{
+				string(k.alg), k.dataset, eng,
+				FormatSeconds(stats.Mean(groups[k][eng])),
+			})
+		}
+	}
+	Table(w, "Fig. 8: real-world dataset mean runtimes", header, rows)
+}
+
+// PowerFigure renders Fig. 9: CPU and RAM average power box plots
+// during BFS, with the sleep baseline.
+func PowerFigure(w io.Writer, results []core.Result, sleepCPUWatts, sleepRAMWatts float64) {
+	cpu := groupTimes(results, func(r core.Result) float64 { return r.AvgCPUWatts })
+	ram := groupTimes(results, func(r core.Result) float64 { return r.AvgRAMWatts })
+	BoxPlot(w, "Fig. 9a: CPU average power during BFS (W)", cpu, false)
+	fmt.Fprintf(w, "  sleep baseline: %.1f W\n\n", sleepCPUWatts)
+	BoxPlot(w, "Fig. 9b: RAM average power during BFS (W)", ram, false)
+	fmt.Fprintf(w, "  sleep baseline: %.1f W\n", sleepRAMWatts)
+}
+
+// EnergyTable renders Table III from power-metered BFS results.
+func EnergyTable(w io.Writer, results []core.Result, sleepWatts float64) {
+	byEngine := map[string][]core.Result{}
+	for _, r := range results {
+		byEngine[r.Engine] = append(byEngine[r.Engine], r)
+	}
+	names := sortedKeys(byEngine)
+	header := append([]string{"metric"}, names...)
+	metric := func(label string, f func(core.Result) float64, format string) []string {
+		row := []string{label}
+		for _, n := range names {
+			var xs []float64
+			for _, r := range byEngine[n] {
+				xs = append(xs, f(r))
+			}
+			row = append(row, fmt.Sprintf(format, stats.Mean(xs)))
+		}
+		return row
+	}
+	rows := [][]string{
+		metric("Time (s)", func(r core.Result) float64 { return r.AlgorithmSec }, "%.5g"),
+		metric("Average Power per Root (W)", func(r core.Result) float64 { return r.AvgCPUWatts + r.AvgRAMWatts }, "%.2f"),
+		metric("Energy per Root (J)", func(r core.Result) float64 { return r.CPUJoules + r.RAMJoules }, "%.4g"),
+		metric("Sleeping Energy (J)", func(r core.Result) float64 { return sleepWatts * r.AlgorithmSec }, "%.4g"),
+		metric("Increase over Sleep", func(r core.Result) float64 {
+			if r.AlgorithmSec <= 0 {
+				return 0
+			}
+			return (r.CPUJoules + r.RAMJoules) / (sleepWatts * r.AlgorithmSec)
+		}, "%.3f"),
+	}
+	Table(w, "Table III: power and energy during BFS (means over roots)", header, rows)
+}

@@ -1,0 +1,341 @@
+package simmachine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Cost is abstract work charged by an engine: scalar cycles executed,
+// bytes moved to or from DRAM (i.e., traffic expected to miss cache),
+// and atomic read-modify-write operations (charged separately because
+// their cost grows with contention).
+type Cost struct {
+	Cycles  float64
+	Bytes   float64
+	Atomics float64
+}
+
+// Add accumulates d into c.
+func (c *Cost) Add(d Cost) {
+	c.Cycles += d.Cycles
+	c.Bytes += d.Bytes
+	c.Atomics += d.Atomics
+}
+
+// Scale returns c with every component multiplied by k.
+func (c Cost) Scale(k float64) Cost {
+	return Cost{Cycles: c.Cycles * k, Bytes: c.Bytes * k, Atomics: c.Atomics * k}
+}
+
+// Sched selects the scheduling policy of a parallel region.
+type Sched int
+
+const (
+	// Static assigns chunks to lanes round-robin, like OpenMP
+	// schedule(static, grain). Skewed chunk costs produce load
+	// imbalance.
+	Static Sched = iota
+	// Dynamic assigns each chunk (in index order) to the currently
+	// least-loaded lane, modeling OpenMP schedule(dynamic, grain).
+	Dynamic
+)
+
+// Region is one entry of the machine's activity trace: a parallel or
+// serial section with its modeled duration and aggregate work. The
+// power model integrates over these.
+type Region struct {
+	Seconds     float64 // modeled duration
+	Lanes       int     // virtual threads configured
+	ActiveLanes int     // lanes that received work
+	Utilization float64 // mean busy fraction across lanes, in [0,1]
+	Cost        Cost    // aggregate charged work
+	MemBound    bool    // true if duration was set by the bandwidth roofline
+	IO          bool    // true for file I/O regions
+}
+
+// W accumulates the work of one chunk. It is handed to region bodies
+// and must not be retained after the body returns.
+type W struct {
+	c Cost
+}
+
+// Charge adds an explicit cost.
+func (w *W) Charge(c Cost) { w.c.Add(c) }
+
+// Cycles charges n scalar cycles.
+func (w *W) Cycles(n float64) { w.c.Cycles += n }
+
+// Bytes charges n bytes of DRAM traffic.
+func (w *W) Bytes(n float64) { w.c.Bytes += n }
+
+// Atomics charges n atomic RMW operations.
+func (w *W) Atomics(n float64) { w.c.Atomics += n }
+
+// Machine executes parallel regions for real while accounting modeled
+// time for a configured virtual thread count. It is not safe for
+// concurrent use by multiple goroutines; regions themselves run their
+// bodies concurrently internally.
+type Machine struct {
+	model   Model
+	threads int
+	// real concurrency bound for executing bodies
+	workers int
+
+	elapsed float64
+	trace   []Region
+	tracing bool
+}
+
+// New returns a machine with the given model and virtual thread count.
+// Thread counts beyond the model's hardware limit are allowed (the
+// paper's 72-thread runs equal the limit) but see Model.MaxThreads.
+func New(model Model, threads int) *Machine {
+	if threads < 1 {
+		threads = 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if threads < w {
+		w = threads
+	}
+	return &Machine{model: model, threads: threads, workers: w, tracing: true}
+}
+
+// Threads returns the virtual thread count.
+func (m *Machine) Threads() int { return m.threads }
+
+// Model returns the machine's cost model.
+func (m *Machine) Model() Model { return m.model }
+
+// Elapsed returns the modeled time in seconds since creation or the
+// last Reset.
+func (m *Machine) Elapsed() float64 { return m.elapsed }
+
+// Reset zeroes the clock and trace.
+func (m *Machine) Reset() {
+	m.elapsed = 0
+	m.trace = m.trace[:0]
+}
+
+// Trace returns the recorded regions. The slice is owned by the
+// machine; callers must not modify it.
+func (m *Machine) Trace() []Region { return m.trace }
+
+// SetTracing enables or disables trace retention (the clock always
+// runs). Long sweeps can disable tracing to bound memory.
+func (m *Machine) SetTracing(on bool) { m.tracing = on }
+
+// Mark returns an opaque cursor into the trace, for windowed power
+// measurements.
+func (m *Machine) Mark() (traceIndex int, elapsed float64) {
+	return len(m.trace), m.elapsed
+}
+
+func (m *Machine) record(r Region) {
+	m.elapsed += r.Seconds
+	if m.tracing {
+		m.trace = append(m.trace, r)
+	}
+}
+
+// Serial runs body on one lane and charges its work at single-thread
+// speed (turbo clock, single-thread bandwidth).
+func (m *Machine) Serial(body func(w *W)) {
+	var w W
+	body(&w)
+	c := w.c
+	tComp := c.Cycles/m.model.TurboHz + c.Atomics*m.model.AtomicCycles/m.model.TurboHz
+	tMem := c.Bytes / m.model.ThreadBW
+	seconds := tComp
+	memBound := false
+	if tMem > seconds {
+		seconds, memBound = tMem, true
+	}
+	m.record(Region{
+		Seconds: seconds, Lanes: 1, ActiveLanes: 1, Utilization: 1,
+		Cost: c, MemBound: memBound,
+	})
+}
+
+// FileRead models reading (and parsing, when parse is true) n bytes
+// from storage as a serial region.
+func (m *Machine) FileRead(n int64, parse bool) {
+	c := Cost{Bytes: float64(n)}
+	seconds := float64(n) / m.model.DiskBW
+	if parse {
+		p := float64(n) * m.model.ParseCyclesPerByte / m.model.TurboHz
+		seconds += p
+		c.Cycles += float64(n) * m.model.ParseCyclesPerByte
+	}
+	m.record(Region{
+		Seconds: seconds, Lanes: 1, ActiveLanes: 1, Utilization: 1,
+		Cost: c, IO: true,
+	})
+}
+
+// Sleep advances the modeled clock with no work, recording an idle
+// region. The power model's sleep baseline integrates over this.
+func (m *Machine) Sleep(seconds float64) {
+	m.record(Region{Seconds: seconds, Lanes: 0, ActiveLanes: 0})
+}
+
+// ParallelFor executes body over [0, n) in chunks of the given grain,
+// runs the chunks concurrently (bounded by real CPUs), and charges the
+// region to the virtual machine under the chosen scheduling policy.
+// Chunk boundaries and cost accounting are independent of the real
+// execution schedule.
+func (m *Machine) ParallelFor(n, grain int, sched Sched, body func(lo, hi int, w *W)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	nchunks := (n + grain - 1) / grain
+	costs := make([]Cost, nchunks)
+
+	var next int64
+	var wg sync.WaitGroup
+	workers := m.workers
+	if workers > nchunks {
+		workers = nchunks
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				if c >= nchunks {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				var w W
+				body(lo, hi, &w)
+				costs[c] = w.c
+			}
+		}()
+	}
+	wg.Wait()
+	m.commitRegion(costs, sched)
+}
+
+// ForEachThread runs one body per virtual thread, passing the thread
+// ID in [0, Threads()). It models OpenMP parallel regions where each
+// thread owns local state (e.g., per-thread frontier queues). Bodies
+// execute concurrently, bounded by the real CPU count; each body's
+// cost is charged to its own lane.
+func (m *Machine) ForEachThread(body func(tid int, w *W)) {
+	t := m.threads
+	costs := make([]Cost, t)
+	var next int64
+	var wg sync.WaitGroup
+	workers := m.workers
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				tid := int(atomic.AddInt64(&next, 1)) - 1
+				if tid >= t {
+					return
+				}
+				var w W
+				body(tid, &w)
+				costs[tid] = w.c
+			}
+		}()
+	}
+	wg.Wait()
+	// One chunk per lane: identity schedule either way.
+	m.commitLanes(costs)
+}
+
+// commitRegion schedules chunk costs onto virtual lanes and records
+// the region.
+func (m *Machine) commitRegion(costs []Cost, sched Sched) {
+	t := m.threads
+	lanes := make([]Cost, t)
+	switch sched {
+	case Static:
+		for i, c := range costs {
+			lanes[i%t].Add(c)
+		}
+	case Dynamic:
+		// Greedy least-loaded in chunk order. Track lane "load" in
+		// cycles-equivalents (atomics folded at uncontended cost).
+		loads := make([]float64, t)
+		for _, c := range costs {
+			best := 0
+			for l := 1; l < t; l++ {
+				if loads[l] < loads[best] {
+					best = l
+				}
+			}
+			lanes[best].Add(c)
+			loads[best] += c.Cycles + c.Atomics*m.model.AtomicCycles + c.Bytes/4
+		}
+	}
+	m.commitLanes(lanes)
+}
+
+// commitLanes converts per-lane costs into a region duration.
+func (m *Machine) commitLanes(lanes []Cost) {
+	t := m.threads
+	model := &m.model
+
+	active := 0
+	var total Cost
+	for _, c := range lanes {
+		if c.Cycles != 0 || c.Bytes != 0 || c.Atomics != 0 {
+			active++
+		}
+		total.Add(c)
+	}
+	if active == 0 {
+		return
+	}
+
+	hz := model.effHz(t)
+	atomicCost := model.AtomicCycles + model.AtomicContention*float64(min(active, t)-1)
+
+	var maxLane, sumLane float64
+	for _, c := range lanes {
+		sec := (c.Cycles + c.Atomics*atomicCost) / hz
+		sumLane += sec
+		if sec > maxLane {
+			maxLane = sec
+		}
+	}
+
+	tMem := total.Bytes * model.numaFactor(t) / model.bandwidth(t)
+	seconds := maxLane
+	memBound := false
+	if tMem > seconds {
+		seconds, memBound = tMem, true
+	}
+	seconds += model.barrier(t)
+
+	util := 1.0
+	if seconds > 0 {
+		util = sumLane / (float64(t) * seconds)
+		if util > 1 {
+			util = 1
+		}
+	}
+	m.record(Region{
+		Seconds: seconds, Lanes: t, ActiveLanes: active,
+		Utilization: util, Cost: total, MemBound: memBound,
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

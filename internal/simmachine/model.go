@@ -1,0 +1,165 @@
+// Package simmachine models the execution of parallel graph kernels on
+// a configurable multicore machine.
+//
+// This repository reproduces a study that ran on a 2-socket, 36-core,
+// 72-thread Intel Haswell server. The present environment cannot
+// exhibit 72-way parallelism, so engines execute their algorithms for
+// real (results are validated against references) while every parallel
+// region also charges its work — cycles, DRAM bytes, atomic operations
+// — to a deterministic machine model that computes the region's
+// duration for an arbitrary virtual thread count. The model captures
+// the mechanisms the paper's scalability analysis rests on:
+//
+//   - scheduling policy: OpenMP-style static (round-robin chunks) vs
+//     dynamic (greedy least-loaded assignment), so load imbalance from
+//     skewed degree distributions appears under static scheduling;
+//   - frequency scaling: single-thread turbo down to all-core base;
+//   - a memory-bandwidth roofline with per-socket limits, so
+//     bandwidth-bound kernels stop scaling once sockets saturate;
+//   - NUMA: a latency penalty once the second socket is in use;
+//   - SMT: hardware threads 37–72 add only fractional throughput;
+//   - synchronization: fork + barrier overhead per region and an
+//     atomic-contention term that grows with active threads.
+//
+// The model is deterministic: region durations depend only on the
+// charged work and the chunk order, never on the real goroutine
+// schedule. A trace of regions is retained for the power model.
+package simmachine
+
+// Model holds the cost constants of the simulated machine.
+type Model struct {
+	Name string
+
+	// Topology.
+	CoresPerSocket int
+	Sockets        int
+	SMTWays        int // hardware threads per core
+
+	// Core clocks in Hz: TurboHz applies to a single busy core,
+	// BaseHz when all physical cores are busy. Intermediate thread
+	// counts interpolate linearly.
+	TurboHz float64
+	BaseHz  float64
+
+	// SMTYield is the extra throughput a second hardware thread on
+	// a busy core contributes (0.3 means core runs 1.3x).
+	SMTYield float64
+
+	// Memory system. ThreadBW is the streaming bandwidth one thread
+	// can extract; SocketBW caps a whole socket. NUMAPenalty
+	// multiplies effective bytes once both sockets are active.
+	ThreadBW    float64
+	SocketBW    float64
+	NUMAPenalty float64
+
+	// Synchronization. ForkSeconds is charged per parallel region;
+	// BarrierSeconds per region end, scaled by log2(threads).
+	// AtomicCycles is the uncontended cost of an atomic RMW;
+	// AtomicContention adds cycles per additional active thread.
+	ForkSeconds      float64
+	BarrierSeconds   float64
+	AtomicCycles     float64
+	AtomicContention float64
+
+	// DiskBW models sequential file read for I/O phases (bytes/s);
+	// ParseCyclesPerByte is charged per byte for text parsing.
+	DiskBW             float64
+	ParseCyclesPerByte float64
+}
+
+// MaxThreads returns the machine's hardware thread count.
+func (m *Model) MaxThreads() int {
+	return m.CoresPerSocket * m.Sockets * m.SMTWays
+}
+
+// Haswell72 models the paper's experimental platform: two Xeon
+// E5-2699 v3 (18 cores, 36 threads each), 256 GB DDR4. Clock and
+// bandwidth figures are public Haswell-EP numbers; synchronization
+// constants are typical OpenMP magnitudes (GCC 4.8 libgomp era).
+func Haswell72() Model {
+	return Model{
+		Name:           "2x Intel Xeon E5-2699 v3 (Haswell-EP), 256 GB DDR4",
+		CoresPerSocket: 18,
+		Sockets:        2,
+		SMTWays:        2,
+		TurboHz:        3.6e9,
+		BaseHz:         2.8e9,
+		SMTYield:       0.28,
+		ThreadBW:       11.5e9,
+		SocketBW:       61e9,
+		NUMAPenalty:    1.18,
+		ForkSeconds:    2.2e-6,
+		BarrierSeconds: 0.9e-6,
+		AtomicCycles:   20,
+		// Most graph-kernel CASes land on distinct cache lines, so
+		// contention grows mildly with thread count.
+		AtomicContention:   1.2,
+		DiskBW:             480e6,
+		ParseCyclesPerByte: 9,
+	}
+}
+
+// effHz returns the per-lane effective clock for t active threads,
+// folding in frequency scaling and the SMT yield discount.
+func (m *Model) effHz(t int) float64 {
+	if t < 1 {
+		t = 1
+	}
+	cores := m.CoresPerSocket * m.Sockets
+	busyCores := t
+	if busyCores > cores {
+		busyCores = cores
+	}
+	// Linear droop from turbo at 1 core to base at all cores.
+	frac := 0.0
+	if cores > 1 {
+		frac = float64(busyCores-1) / float64(cores-1)
+	}
+	hz := m.TurboHz - (m.TurboHz-m.BaseHz)*frac
+	if t <= cores {
+		return hz
+	}
+	// SMT territory: t lanes share `cores` physical cores; each
+	// core runs its sibling pair at (1+yield) aggregate.
+	pairs := t - cores // cores running two hardware threads
+	aggregate := float64(cores-pairs) + float64(pairs)*(1+m.SMTYield)
+	return hz * aggregate / float64(t)
+}
+
+// bandwidth returns the achievable DRAM bandwidth for t threads.
+func (m *Model) bandwidth(t int) float64 {
+	if t < 1 {
+		t = 1
+	}
+	socketsInUse := 1
+	if t > m.CoresPerSocket {
+		socketsInUse = m.Sockets
+	}
+	bw := float64(t) * m.ThreadBW
+	cap := float64(socketsInUse) * m.SocketBW
+	if bw > cap {
+		return cap
+	}
+	return bw
+}
+
+// numaFactor returns the effective-bytes multiplier for t threads.
+func (m *Model) numaFactor(t int) float64 {
+	if t > m.CoresPerSocket {
+		return m.NUMAPenalty
+	}
+	return 1
+}
+
+// barrier returns the synchronization cost of ending a region with t
+// threads.
+func (m *Model) barrier(t int) float64 {
+	if t <= 1 {
+		return 0
+	}
+	levels := 0
+	for v := t - 1; v > 0; v >>= 1 {
+		levels++
+	}
+	return m.ForkSeconds + m.BarrierSeconds*float64(levels)
+}

@@ -1,0 +1,159 @@
+// Package snap reads and writes graphs in the SNAP text format used by
+// the Stanford Network Analysis Project datasets, and converts graphs
+// into each engine's preferred on-disk representation (the paper's
+// "dataset homogenization" phase).
+//
+// A SNAP file is one edge per line, endpoints separated by whitespace,
+// with an optional third column holding the weight; lines starting
+// with '#' are comments. Vertex IDs in the file may be arbitrary
+// non-negative integers; the reader densifies them to [0, N) and
+// records the mapping.
+package snap
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/hpcl-repro/epg/internal/graph"
+)
+
+// ReadResult carries the parsed graph plus the original-ID mapping.
+type ReadResult struct {
+	Graph *graph.EdgeList
+	// OrigID maps dense vertex ID -> the ID that appeared in the
+	// file, so results can be reported in the dataset's own terms.
+	OrigID []int64
+}
+
+// Read parses a SNAP-format stream. Weighted is inferred: if any data
+// line has a third column, all lines must have one.
+func Read(r io.Reader) (*ReadResult, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	ids := make(map[int64]graph.VID)
+	var orig []int64
+	intern := func(raw int64) graph.VID {
+		if v, ok := ids[raw]; ok {
+			return v
+		}
+		v := graph.VID(len(orig))
+		ids[raw] = v
+		orig = append(orig, raw)
+		return v
+	}
+
+	el := &graph.EdgeList{Directed: true}
+	lineNo := 0
+	weightedKnown := false
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		f0, f1, f2, nf, err := splitFields(line)
+		if err != nil {
+			return nil, fmt.Errorf("snap: line %d: %v", lineNo, err)
+		}
+		if nf == 0 {
+			continue
+		}
+		if nf < 2 {
+			return nil, fmt.Errorf("snap: line %d: expected at least 2 fields", lineNo)
+		}
+		src, err := strconv.ParseInt(f0, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("snap: line %d: bad source %q", lineNo, f0)
+		}
+		dst, err := strconv.ParseInt(f1, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("snap: line %d: bad destination %q", lineNo, f1)
+		}
+		if src < 0 || dst < 0 {
+			return nil, fmt.Errorf("snap: line %d: negative vertex ID", lineNo)
+		}
+		e := graph.Edge{Src: intern(src), Dst: intern(dst)}
+		hasW := nf >= 3
+		if !weightedKnown {
+			el.Weighted = hasW
+			weightedKnown = true
+		} else if hasW != el.Weighted {
+			return nil, fmt.Errorf("snap: line %d: inconsistent weight columns", lineNo)
+		}
+		if hasW {
+			w, err := strconv.ParseFloat(f2, 32)
+			if err != nil {
+				return nil, fmt.Errorf("snap: line %d: bad weight %q", lineNo, f2)
+			}
+			e.W = float32(w)
+		}
+		el.Edges = append(el.Edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("snap: %v", err)
+	}
+	el.NumVertices = len(orig)
+	if el.NumVertices == 0 {
+		return nil, fmt.Errorf("snap: no edges found")
+	}
+	return &ReadResult{Graph: el, OrigID: orig}, nil
+}
+
+// splitFields extracts up to three whitespace-separated fields without
+// allocating per line.
+func splitFields(line []byte) (a, b, c string, n int, err error) {
+	i := 0
+	next := func() string {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+			i++
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' && line[i] != '\t' && line[i] != '\r' {
+			i++
+		}
+		return string(line[start:i])
+	}
+	a = next()
+	if a == "" {
+		return "", "", "", 0, nil
+	}
+	b = next()
+	if b == "" {
+		return a, "", "", 1, nil
+	}
+	c = next()
+	if c == "" {
+		return a, b, "", 2, nil
+	}
+	if rest := next(); rest != "" {
+		return "", "", "", 0, fmt.Errorf("too many fields")
+	}
+	return a, b, c, 3, nil
+}
+
+// Write emits the edge list in SNAP format. A header comment records
+// the sizes, as the SNAP datasets do.
+func Write(w io.Writer, el *graph.EdgeList, name string) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fmt.Fprintf(bw, "# %s\n# Nodes: %d Edges: %d\n", name, el.NumVertices, len(el.Edges))
+	if el.Weighted {
+		fmt.Fprintf(bw, "# SrcId\tDstId\tWeight\n")
+	} else {
+		fmt.Fprintf(bw, "# SrcId\tDstId\n")
+	}
+	for _, e := range el.Edges {
+		if el.Weighted {
+			if _, err := fmt.Fprintf(bw, "%d\t%d\t%g\n", e.Src, e.Dst, e.W); err != nil {
+				return err
+			}
+		} else {
+			if _, err := fmt.Fprintf(bw, "%d\t%d\n", e.Src, e.Dst); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,247 @@
+package snap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/xrand"
+)
+
+func TestReadBasic(t *testing.T) {
+	const in = `# comment line
+# Nodes: 4 Edges: 3
+0	1
+1	2
+0 3
+`
+	res, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	el := res.Graph
+	if el.NumVertices != 4 {
+		t.Errorf("vertices = %d, want 4", el.NumVertices)
+	}
+	if len(el.Edges) != 3 {
+		t.Errorf("edges = %d, want 3", len(el.Edges))
+	}
+	if el.Weighted {
+		t.Error("unweighted file read as weighted")
+	}
+}
+
+func TestReadWeighted(t *testing.T) {
+	const in = "0 1 0.5\n1 2 0.25\n"
+	res, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Graph.Weighted {
+		t.Fatal("weighted file read as unweighted")
+	}
+	if res.Graph.Edges[0].W != 0.5 {
+		t.Errorf("weight = %v, want 0.5", res.Graph.Edges[0].W)
+	}
+}
+
+func TestReadDensifiesSparseIDs(t *testing.T) {
+	const in = "100 900\n900 42\n"
+	res, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumVertices != 3 {
+		t.Errorf("vertices = %d, want 3", res.Graph.NumVertices)
+	}
+	// Mapping preserved.
+	want := map[graph.VID]int64{0: 100, 1: 900, 2: 42}
+	for dense, orig := range want {
+		if res.OrigID[dense] != orig {
+			t.Errorf("OrigID[%d] = %d, want %d", dense, res.OrigID[dense], orig)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"one field":            "5\n",
+		"bad src":              "x 1\n",
+		"bad dst":              "1 x\n",
+		"bad weight":           "1 2 zap\n",
+		"negative":             "-1 2\n",
+		"inconsistent weights": "0 1 0.5\n1 2\n",
+		"too many fields":      "1 2 3 4\n",
+		"empty":                "# nothing\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: error expected", name)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	el := &graph.EdgeList{
+		NumVertices: 5,
+		Edges:       []graph.Edge{{Src: 0, Dst: 1, W: 0.5}, {Src: 1, Dst: 2, W: 0.25}, {Src: 4, Dst: 0, W: 1}},
+		Weighted:    true,
+		Directed:    true,
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, el, "test"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Graph
+	if len(got.Edges) != len(el.Edges) {
+		t.Fatalf("edges = %d, want %d", len(got.Edges), len(el.Edges))
+	}
+	for i := range el.Edges {
+		// IDs appear in first-seen order: 0,1,2,4 -> 0,1,2,3
+		if got.Edges[i].W != el.Edges[i].W {
+			t.Errorf("edge %d weight %v, want %v", i, got.Edges[i].W, el.Edges[i].W)
+		}
+	}
+	if got.NumVertices != 4 { // vertex 3 has no edges, so it vanishes
+		t.Errorf("round-trip vertices = %d, want 4", got.NumVertices)
+	}
+}
+
+func TestGraph500RoundTrip(t *testing.T) {
+	r := xrand.New(3)
+	el := &graph.EdgeList{NumVertices: 100}
+	for i := 0; i < 500; i++ {
+		el.Edges = append(el.Edges, graph.Edge{Src: graph.VID(r.Intn(100)), Dst: graph.VID(r.Intn(100))})
+	}
+	var buf bytes.Buffer
+	if err := WriteFormat(&buf, el, FormatGraph500, "t"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph500(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices != el.NumVertices || len(got.Edges) != len(el.Edges) {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d", got.NumVertices, len(got.Edges), el.NumVertices, len(el.Edges))
+	}
+	for i := range el.Edges {
+		if got.Edges[i].Src != el.Edges[i].Src || got.Edges[i].Dst != el.Edges[i].Dst {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestReadGraph500Garbage(t *testing.T) {
+	if _, err := ReadGraph500(strings.NewReader("not binary")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestGraphMatFormat(t *testing.T) {
+	el := &graph.EdgeList{
+		NumVertices: 3,
+		Edges:       []graph.Edge{{Src: 0, Dst: 1, W: 0.5}},
+		Weighted:    true,
+	}
+	var buf bytes.Buffer
+	if err := WriteFormat(&buf, el, FormatGraphMat, "t"); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "MatrixMarket") {
+		t.Error("missing MatrixMarket header")
+	}
+	if !strings.Contains(s, "1 2 0.5") {
+		t.Errorf("expected 1-indexed edge, got:\n%s", s)
+	}
+}
+
+func TestAdjacencyFormat(t *testing.T) {
+	el := &graph.EdgeList{
+		NumVertices: 3,
+		Edges:       []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 2}},
+	}
+	var buf bytes.Buffer
+	if err := WriteFormat(&buf, el, FormatAdjacency, "t"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "AdjacencyGraph" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "3" || lines[2] != "3" {
+		t.Errorf("counts = %q %q", lines[1], lines[2])
+	}
+}
+
+func TestWriteFormatUnknown(t *testing.T) {
+	el := &graph.EdgeList{NumVertices: 1, Edges: []graph.Edge{{Src: 0, Dst: 0}}}
+	if err := WriteFormat(&bytes.Buffer{}, el, "bogus", "t"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+// Property: any weighted random edge list survives a SNAP round trip
+// with the same edge multiset (modulo ID densification order, which is
+// first-seen and deterministic).
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		el := &graph.EdgeList{NumVertices: 20, Weighted: true}
+		for i := 0; i < 50; i++ {
+			el.Edges = append(el.Edges, graph.Edge{
+				Src: graph.VID(r.Intn(20)),
+				Dst: graph.VID(r.Intn(20)),
+				W:   float32(int(r.Float32()*100)+1) / 128, // exactly representable
+			})
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, el, "prop"); err != nil {
+			return false
+		}
+		res, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(res.Graph.Edges) != len(el.Edges) {
+			return false
+		}
+		for i := range el.Edges {
+			// Densified IDs must map back to the written ones.
+			g := res.Graph.Edges[i]
+			if res.OrigID[g.Src] != int64(el.Edges[i].Src) ||
+				res.OrigID[g.Dst] != int64(el.Edges[i].Dst) ||
+				g.W != el.Edges[i].W {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	r := xrand.New(1)
+	el := &graph.EdgeList{NumVertices: 1000}
+	for i := 0; i < 50000; i++ {
+		el.Edges = append(el.Edges, graph.Edge{Src: graph.VID(r.Intn(1000)), Dst: graph.VID(r.Intn(1000))})
+	}
+	var buf bytes.Buffer
+	Write(&buf, el, "bench")
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package stats provides the statistical summaries the paper's R
+// scripts computed: five-number box-plot summaries, means and
+// relative standard deviations, and the parallel speedup/efficiency
+// series of Figs. 5 and 6.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FiveNum is a box-plot summary.
+type FiveNum struct {
+	Min, Q1, Median, Q3, Max float64
+	N                        int
+}
+
+// Summarize computes the five-number summary of xs. It panics on an
+// empty input (callers always have at least one trial).
+func Summarize(xs []float64) FiveNum {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return FiveNum{
+		Min:    s[0],
+		Q1:     quantile(s, 0.25),
+		Median: quantile(s, 0.5),
+		Q3:     quantile(s, 0.75),
+		Max:    s[len(s)-1],
+		N:      len(s),
+	}
+}
+
+// quantile interpolates the q-quantile of sorted data (R type-7).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	h := q * float64(len(sorted)-1)
+	lo := int(math.Floor(h))
+	hi := int(math.Ceil(h))
+	if lo == hi {
+		return sorted[lo]
+	}
+	// Overflow-safe interpolation: sorted[hi]-sorted[lo] can exceed
+	// MaxFloat64 for extreme samples.
+	f := h - float64(lo)
+	return (1-f)*sorted[lo] + f*sorted[hi]
+}
+
+// IQR returns the interquartile range.
+func (f FiveNum) IQR() float64 { return f.Q3 - f.Q1 }
+
+// String renders the summary compactly.
+func (f FiveNum) String() string {
+	return fmt.Sprintf("min=%.4g q1=%.4g med=%.4g q3=%.4g max=%.4g (n=%d)",
+		f.Min, f.Q1, f.Median, f.Q3, f.Max, f.N)
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// RelStdDev returns the coefficient of variation (the paper compares
+// the relative standard deviations of PageRank and SSSP runtimes).
+func RelStdDev(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// ScalingPoint is one thread count in a strong-scaling series.
+type ScalingPoint struct {
+	Threads    int
+	Seconds    float64
+	Speedup    float64 // T1/Tn
+	Efficiency float64 // T1/(n*Tn)
+}
+
+// Scaling derives speedup and efficiency from (threads, seconds)
+// measurements, using the 1-thread entry as the baseline (Fig. 5 and
+// Fig. 6). The input need not be sorted; the output is, by threads.
+// An error is returned if no 1-thread baseline is present.
+func Scaling(times map[int]float64) ([]ScalingPoint, error) {
+	t1, ok := times[1]
+	if !ok {
+		return nil, fmt.Errorf("stats: scaling series needs a 1-thread baseline")
+	}
+	if t1 <= 0 {
+		return nil, fmt.Errorf("stats: non-positive baseline time %v", t1)
+	}
+	pts := make([]ScalingPoint, 0, len(times))
+	for n, tn := range times {
+		if n < 1 || tn <= 0 {
+			return nil, fmt.Errorf("stats: invalid scaling point (%d, %v)", n, tn)
+		}
+		pts = append(pts, ScalingPoint{
+			Threads:    n,
+			Seconds:    tn,
+			Speedup:    t1 / tn,
+			Efficiency: t1 / (float64(n) * tn),
+		})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Threads < pts[j].Threads })
+	return pts, nil
+}

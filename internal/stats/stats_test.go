@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownValues(t *testing.T) {
+	f := Summarize([]float64{1, 2, 3, 4, 5})
+	if f.Min != 1 || f.Max != 5 || f.Median != 3 || f.Q1 != 2 || f.Q3 != 4 {
+		t.Errorf("summary = %+v", f)
+	}
+	if f.N != 5 {
+		t.Errorf("n = %d", f.N)
+	}
+	if f.IQR() != 2 {
+		t.Errorf("iqr = %v", f.IQR())
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	f := Summarize([]float64{7})
+	if f.Min != 7 || f.Max != 7 || f.Median != 7 || f.Q1 != 7 || f.Q3 != 7 {
+		t.Errorf("summary = %+v", f)
+	}
+}
+
+func TestSummarizeUnsortedInputUntouched(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	_ = Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestSummarizePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on empty input")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean = %v", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-2.138) > 0.001 {
+		t.Errorf("sd = %v", sd)
+	}
+	if r := RelStdDev(xs); math.Abs(r-2.138/5) > 0.001 {
+		t.Errorf("relsd = %v", r)
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("single-sample sd should be 0")
+	}
+	if RelStdDev([]float64{0, 0}) != 0 {
+		t.Error("zero-mean relsd should be 0")
+	}
+}
+
+func TestScalingSeries(t *testing.T) {
+	pts, err := Scaling(map[int]float64{1: 10, 2: 6, 4: 3.5, 8: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Sorted by threads.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Threads <= pts[i-1].Threads {
+			t.Error("points not sorted")
+		}
+	}
+	if pts[0].Speedup != 1 || pts[0].Efficiency != 1 {
+		t.Errorf("baseline point = %+v", pts[0])
+	}
+	if math.Abs(pts[1].Speedup-10.0/6) > 1e-12 {
+		t.Errorf("speedup(2) = %v", pts[1].Speedup)
+	}
+	if math.Abs(pts[3].Efficiency-10.0/(8*2.5)) > 1e-12 {
+		t.Errorf("efficiency(8) = %v", pts[3].Efficiency)
+	}
+}
+
+func TestScalingErrors(t *testing.T) {
+	if _, err := Scaling(map[int]float64{2: 5}); err == nil {
+		t.Error("missing baseline accepted")
+	}
+	if _, err := Scaling(map[int]float64{1: 0}); err == nil {
+		t.Error("zero baseline accepted")
+	}
+	if _, err := Scaling(map[int]float64{1: 1, 4: -2}); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+// Property: min <= q1 <= median <= q3 <= max for arbitrary samples.
+func TestFiveNumOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: efficiency = speedup / threads.
+func TestEfficiencyIdentityProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		times := map[int]float64{1: 1.0}
+		for _, n := range []int{2, 4, 8, 16} {
+			times[n] = 1.0 / (1 + float64(seed%7)) * float64(n) / float64(n+int(seed%3))
+		}
+		pts, err := Scaling(times)
+		if err != nil {
+			return false
+		}
+		for _, p := range pts {
+			if math.Abs(p.Efficiency-p.Speedup/float64(p.Threads)) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,77 @@
+package verify
+
+import (
+	"github.com/hpcl-repro/epg/internal/graph"
+)
+
+// TriangleCount returns the number of unordered triangles in the
+// homogenized graph (each counted once). Reference for the GAP
+// engine's TC extension.
+func TriangleCount(p *Prepared) int64 {
+	var total int64
+	n := p.Out.NumVertices
+	for v := 0; v < n; v++ {
+		adj := p.Out.Neighbors(graph.VID(v))
+		for i := 0; i < len(adj); i++ {
+			u := adj[i]
+			if u <= graph.VID(v) {
+				continue
+			}
+			for j := i + 1; j < len(adj); j++ {
+				w := adj[j]
+				if w <= u {
+					continue
+				}
+				if p.Out.HasEdge(u, w) {
+					total++
+				}
+			}
+		}
+	}
+	return total
+}
+
+// BetweennessCentrality runs serial Brandes from the given sources,
+// unnormalized, matching the GAP kernel's semantics.
+func BetweennessCentrality(p *Prepared, sources []graph.VID) []float64 {
+	n := p.Out.NumVertices
+	bc := make([]float64, n)
+	for _, s := range sources {
+		sigma := make([]float64, n)
+		dist := make([]int64, n)
+		delta := make([]float64, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		sigma[s] = 1
+		dist[s] = 0
+		var order []graph.VID
+		queue := []graph.VID{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, u := range p.Out.Neighbors(v) {
+				if dist[u] == -1 {
+					dist[u] = dist[v] + 1
+					queue = append(queue, u)
+				}
+				if dist[u] == dist[v]+1 {
+					sigma[u] += sigma[v]
+				}
+			}
+		}
+		for i := len(order) - 1; i >= 0; i-- {
+			v := order[i]
+			for _, u := range p.Out.Neighbors(v) {
+				if dist[u] == dist[v]+1 {
+					delta[v] += sigma[v] / sigma[u] * (1 + delta[u])
+				}
+			}
+			if v != s {
+				bc[v] += delta[v]
+			}
+		}
+	}
+	return bc
+}

@@ -1,0 +1,161 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/graph"
+)
+
+// ValidateBFS applies the Graph500-style correctness rules to a parent
+// tree, using the reference run for reachability and level checks:
+//
+//  1. the root's parent is the root itself;
+//  2. every tree edge (parent(v), v) exists in the graph;
+//  3. levels are consistent: depth(v) == depth(parent(v)) + 1;
+//  4. exactly the reference-reachable vertices are reached;
+//  5. engine levels equal reference levels (BFS levels are unique
+//     even when parent choices are not).
+func ValidateBFS(p *Prepared, got, ref *engines.BFSResult) error {
+	n := p.Out.NumVertices
+	if len(got.Parent) != n || len(got.Depth) != n {
+		return fmt.Errorf("bfs: result arrays sized %d/%d, want %d", len(got.Parent), len(got.Depth), n)
+	}
+	if got.Parent[got.Root] != int64(got.Root) {
+		return fmt.Errorf("bfs: root %d parent is %d, want itself", got.Root, got.Parent[got.Root])
+	}
+	for v := 0; v < n; v++ {
+		pv := got.Parent[v]
+		if pv == engines.NoParent {
+			if ref.Parent[v] != engines.NoParent {
+				return fmt.Errorf("bfs: vertex %d unreached but reference reaches it", v)
+			}
+			if got.Depth[v] != -1 {
+				return fmt.Errorf("bfs: unreached vertex %d has depth %d", v, got.Depth[v])
+			}
+			continue
+		}
+		if ref.Parent[v] == engines.NoParent {
+			return fmt.Errorf("bfs: vertex %d reached but reference does not reach it", v)
+		}
+		if got.Depth[v] != ref.Depth[v] {
+			return fmt.Errorf("bfs: vertex %d depth %d, reference %d", v, got.Depth[v], ref.Depth[v])
+		}
+		if graph.VID(v) == got.Root {
+			continue
+		}
+		parent := graph.VID(pv)
+		if !p.Out.HasEdge(parent, graph.VID(v)) {
+			return fmt.Errorf("bfs: tree edge %d->%d not in graph", parent, v)
+		}
+		if got.Depth[v] != got.Depth[parent]+1 {
+			return fmt.Errorf("bfs: vertex %d depth %d but parent %d depth %d", v, got.Depth[v], parent, got.Depth[parent])
+		}
+	}
+	return nil
+}
+
+// SSSPTolerance bounds the acceptable absolute distance error, sized
+// for float32 accumulation over paths of modest length.
+const SSSPTolerance = 2e-4
+
+// ValidateSSSP compares distances against the Dijkstra reference and
+// additionally checks the triangle inequality on every edge.
+func ValidateSSSP(p *Prepared, got, ref *engines.SSSPResult) error {
+	n := p.Out.NumVertices
+	if len(got.Dist) != n {
+		return fmt.Errorf("sssp: result sized %d, want %d", len(got.Dist), n)
+	}
+	for v := 0; v < n; v++ {
+		gd, rd := got.Dist[v], ref.Dist[v]
+		switch {
+		case math.IsInf(gd, 1) != math.IsInf(rd, 1):
+			return fmt.Errorf("sssp: vertex %d reachability differs (got %v, ref %v)", v, gd, rd)
+		case math.IsInf(gd, 1):
+			continue
+		case math.Abs(gd-rd) > SSSPTolerance*(1+math.Abs(rd)):
+			return fmt.Errorf("sssp: vertex %d dist %v, reference %v", v, gd, rd)
+		}
+	}
+	// Edge-wise optimality: no edge can relax further.
+	for v := 0; v < n; v++ {
+		dv := got.Dist[v]
+		if math.IsInf(dv, 1) {
+			continue
+		}
+		adj := p.Out.Neighbors(graph.VID(v))
+		w := p.Out.NeighborWeights(graph.VID(v))
+		for i, u := range adj {
+			if got.Dist[u] > dv+float64(w[i])+SSSPTolerance {
+				return fmt.Errorf("sssp: edge %d->%d violates optimality (%v > %v + %v)", v, u, got.Dist[u], dv, w[i])
+			}
+		}
+	}
+	return nil
+}
+
+// ValidatePageRank checks score closeness (L1), normalization, and
+// non-negativity. tol should reflect the engine's precision: float64
+// engines pass 1e-6; float32 engines need ~1e-3.
+func ValidatePageRank(got, ref *engines.PRResult, tol float64) error {
+	if len(got.Rank) != len(ref.Rank) {
+		return fmt.Errorf("pagerank: result sized %d, want %d", len(got.Rank), len(ref.Rank))
+	}
+	var sum, l1 float64
+	for i := range got.Rank {
+		if got.Rank[i] < 0 {
+			return fmt.Errorf("pagerank: negative rank at %d: %v", i, got.Rank[i])
+		}
+		sum += got.Rank[i]
+		l1 += math.Abs(got.Rank[i] - ref.Rank[i])
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		return fmt.Errorf("pagerank: ranks sum to %v, want 1", sum)
+	}
+	if l1 > tol {
+		return fmt.Errorf("pagerank: L1 distance to reference %v exceeds %v", l1, tol)
+	}
+	return nil
+}
+
+// ValidateCDLP requires exact agreement: the synchronous min-tie-break
+// semantics are deterministic.
+func ValidateCDLP(got, ref *engines.CDLPResult) error {
+	if len(got.Label) != len(ref.Label) {
+		return fmt.Errorf("cdlp: result sized %d, want %d", len(got.Label), len(ref.Label))
+	}
+	for v := range got.Label {
+		if got.Label[v] != ref.Label[v] {
+			return fmt.Errorf("cdlp: vertex %d label %d, reference %d", v, got.Label[v], ref.Label[v])
+		}
+	}
+	return nil
+}
+
+// ValidateLCC compares coefficients within a tight epsilon (the values
+// are ratios of integer counts).
+func ValidateLCC(got, ref *engines.LCCResult) error {
+	if len(got.Coeff) != len(ref.Coeff) {
+		return fmt.Errorf("lcc: result sized %d, want %d", len(got.Coeff), len(ref.Coeff))
+	}
+	for v := range got.Coeff {
+		if math.Abs(got.Coeff[v]-ref.Coeff[v]) > 1e-9 {
+			return fmt.Errorf("lcc: vertex %d coeff %v, reference %v", v, got.Coeff[v], ref.Coeff[v])
+		}
+	}
+	return nil
+}
+
+// ValidateWCC requires exact agreement of canonical component IDs.
+func ValidateWCC(got, ref *engines.WCCResult) error {
+	if len(got.Component) != len(ref.Component) {
+		return fmt.Errorf("wcc: result sized %d, want %d", len(got.Component), len(ref.Component))
+	}
+	for v := range got.Component {
+		if got.Component[v] != ref.Component[v] {
+			return fmt.Errorf("wcc: vertex %d component %d, reference %d", v, got.Component[v], ref.Component[v])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,310 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/kronecker"
+)
+
+// pathGraph returns 0-1-2-...-n-1 as an undirected weighted list.
+func pathGraph(n int) *graph.EdgeList {
+	el := &graph.EdgeList{NumVertices: n, Weighted: true}
+	for i := 0; i < n-1; i++ {
+		el.Edges = append(el.Edges, graph.Edge{Src: graph.VID(i), Dst: graph.VID(i + 1), W: 0.5})
+	}
+	return el
+}
+
+// triangleWithTail: 0-1-2-0 triangle plus 2-3 tail, undirected.
+func triangleWithTail() *graph.EdgeList {
+	return &graph.EdgeList{
+		NumVertices: 4,
+		Weighted:    true,
+		Edges: []graph.Edge{
+			{Src: 0, Dst: 1, W: 1}, {Src: 1, Dst: 2, W: 1},
+			{Src: 2, Dst: 0, W: 1}, {Src: 2, Dst: 3, W: 1},
+		},
+	}
+}
+
+func TestBFSPath(t *testing.T) {
+	p := Prepare(pathGraph(5))
+	res := BFS(p, 0)
+	for v := 0; v < 5; v++ {
+		if res.Depth[v] != int64(v) {
+			t.Errorf("depth[%d] = %d, want %d", v, res.Depth[v], v)
+		}
+	}
+	if res.Parent[0] != 0 {
+		t.Error("root parent wrong")
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	el := pathGraph(4)
+	el.NumVertices = 6 // 4,5 isolated
+	p := Prepare(el)
+	res := BFS(p, 0)
+	for _, v := range []int{4, 5} {
+		if res.Parent[v] != engines.NoParent || res.Depth[v] != -1 {
+			t.Errorf("isolated vertex %d reached", v)
+		}
+	}
+}
+
+func TestSSSPPath(t *testing.T) {
+	p := Prepare(pathGraph(5))
+	res := SSSP(p, 0)
+	for v := 0; v < 5; v++ {
+		want := 0.5 * float64(v)
+		if math.Abs(res.Dist[v]-want) > 1e-12 {
+			t.Errorf("dist[%d] = %v, want %v", v, res.Dist[v], want)
+		}
+	}
+}
+
+func TestSSSPPrefersLightPath(t *testing.T) {
+	// 0->1 weight 1.0 direct; 0->2->1 weights 0.3+0.3.
+	el := &graph.EdgeList{
+		NumVertices: 3,
+		Weighted:    true,
+		Directed:    true,
+		Edges: []graph.Edge{
+			{Src: 0, Dst: 1, W: 1.0},
+			{Src: 0, Dst: 2, W: 0.3},
+			{Src: 2, Dst: 1, W: 0.3},
+		},
+	}
+	p := Prepare(el)
+	res := SSSP(p, 0)
+	if math.Abs(res.Dist[1]-0.6) > 1e-6 {
+		t.Errorf("dist[1] = %v, want 0.6", res.Dist[1])
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	// Directed cycle: stationary distribution is uniform.
+	n := 8
+	el := &graph.EdgeList{NumVertices: n, Directed: true}
+	for i := 0; i < n; i++ {
+		el.Edges = append(el.Edges, graph.Edge{Src: graph.VID(i), Dst: graph.VID((i + 1) % n)})
+	}
+	p := Prepare(el)
+	res := PageRank(p, engines.PROpts{})
+	for v := 0; v < n; v++ {
+		if math.Abs(res.Rank[v]-1.0/float64(n)) > 1e-6 {
+			t.Errorf("rank[%d] = %v, want %v", v, res.Rank[v], 1.0/float64(n))
+		}
+	}
+}
+
+func TestPageRankSumsToOneWithDangling(t *testing.T) {
+	// Star: 1..4 -> 0, vertex 0 dangling.
+	el := &graph.EdgeList{NumVertices: 5, Directed: true}
+	for i := 1; i < 5; i++ {
+		el.Edges = append(el.Edges, graph.Edge{Src: graph.VID(i), Dst: 0})
+	}
+	p := Prepare(el)
+	res := PageRank(p, engines.PROpts{})
+	var sum float64
+	for _, r := range res.Rank {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ranks sum to %v", sum)
+	}
+	if res.Rank[0] <= res.Rank[1] {
+		t.Error("hub not ranked above leaves")
+	}
+}
+
+func TestCDLPTwoCliques(t *testing.T) {
+	// Two triangles joined by one edge: labels converge to the two
+	// clique minima.
+	el := &graph.EdgeList{
+		NumVertices: 6,
+		Edges: []graph.Edge{
+			{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0},
+			{Src: 3, Dst: 4}, {Src: 4, Dst: 5}, {Src: 5, Dst: 3},
+			{Src: 2, Dst: 3},
+		},
+	}
+	p := Prepare(el)
+	res := CDLP(p, 10)
+	if res.Label[0] != res.Label[1] || res.Label[1] != res.Label[2] {
+		t.Errorf("first clique labels differ: %v", res.Label[:3])
+	}
+	if res.Label[3] != res.Label[4] || res.Label[4] != res.Label[5] {
+		t.Errorf("second clique labels differ: %v", res.Label[3:])
+	}
+}
+
+func TestLCCTriangle(t *testing.T) {
+	p := Prepare(triangleWithTail())
+	res := LCC(p)
+	// Vertices 0,1 have 2 neighbors, both connected: coeff 1.
+	for _, v := range []int{0, 1} {
+		if math.Abs(res.Coeff[v]-1) > 1e-12 {
+			t.Errorf("coeff[%d] = %v, want 1", v, res.Coeff[v])
+		}
+	}
+	// Vertex 2 has neighbors {0,1,3}; only pair (0,1) is joined
+	// (both directions): 2 ordered pairs / 6 = 1/3.
+	if math.Abs(res.Coeff[2]-1.0/3) > 1e-12 {
+		t.Errorf("coeff[2] = %v, want 1/3", res.Coeff[2])
+	}
+	// Degree-1 vertex: zero.
+	if res.Coeff[3] != 0 {
+		t.Errorf("coeff[3] = %v, want 0", res.Coeff[3])
+	}
+}
+
+func TestWCCComponents(t *testing.T) {
+	el := pathGraph(3)
+	el.NumVertices = 6
+	el.Edges = append(el.Edges, graph.Edge{Src: 4, Dst: 5, W: 0.5})
+	p := Prepare(el)
+	res := WCC(p)
+	want := []graph.VID{0, 0, 0, 3, 4, 4}
+	for v, w := range want {
+		if res.Component[v] != w {
+			t.Errorf("component[%d] = %d, want %d", v, res.Component[v], w)
+		}
+	}
+}
+
+func TestWCCIgnoresDirection(t *testing.T) {
+	el := &graph.EdgeList{
+		NumVertices: 3,
+		Directed:    true,
+		Edges:       []graph.Edge{{Src: 1, Dst: 0}, {Src: 1, Dst: 2}},
+	}
+	p := Prepare(el)
+	res := WCC(p)
+	if res.Component[0] != 0 || res.Component[1] != 0 || res.Component[2] != 0 {
+		t.Errorf("weak components = %v, want all 0", res.Component)
+	}
+}
+
+func TestValidateBFSAcceptsReference(t *testing.T) {
+	p := Prepare(kroneckerList(8, 11))
+	ref := BFS(p, firstNonIsolated(p))
+	if err := ValidateBFS(p, ref, ref); err != nil {
+		t.Errorf("reference rejected: %v", err)
+	}
+}
+
+func TestValidateBFSRejectsCorruption(t *testing.T) {
+	p := Prepare(pathGraph(5))
+	ref := BFS(p, 0)
+
+	bad := BFS(p, 0)
+	bad.Depth[3] = 7
+	if err := ValidateBFS(p, bad, ref); err == nil {
+		t.Error("depth corruption accepted")
+	}
+
+	bad = BFS(p, 0)
+	bad.Parent[2] = 0 // 0->2 edge does not exist on a path
+	if err := ValidateBFS(p, bad, ref); err == nil {
+		t.Error("phantom tree edge accepted")
+	}
+
+	bad = BFS(p, 0)
+	bad.Parent[4] = engines.NoParent
+	bad.Depth[4] = -1
+	if err := ValidateBFS(p, bad, ref); err == nil {
+		t.Error("missing vertex accepted")
+	}
+}
+
+func TestValidateSSSPRejectsCorruption(t *testing.T) {
+	p := Prepare(pathGraph(5))
+	ref := SSSP(p, 0)
+	if err := ValidateSSSP(p, ref, ref); err != nil {
+		t.Fatalf("reference rejected: %v", err)
+	}
+	bad := SSSP(p, 0)
+	bad.Dist[4] = 100
+	if err := ValidateSSSP(p, bad, ref); err == nil {
+		t.Error("inflated distance accepted")
+	}
+	bad = SSSP(p, 0)
+	bad.Dist[4] = math.Inf(1)
+	if err := ValidateSSSP(p, bad, ref); err == nil {
+		t.Error("false unreachability accepted")
+	}
+}
+
+func TestValidatePageRankRejectsDenormalized(t *testing.T) {
+	ref := &engines.PRResult{Rank: []float64{0.5, 0.5}}
+	if err := ValidatePageRank(ref, ref, 1e-6); err != nil {
+		t.Fatalf("reference rejected: %v", err)
+	}
+	bad := &engines.PRResult{Rank: []float64{0.9, 0.5}}
+	if err := ValidatePageRank(bad, ref, 1e-6); err == nil {
+		t.Error("denormalized ranks accepted")
+	}
+	neg := &engines.PRResult{Rank: []float64{1.5, -0.5}}
+	if err := ValidatePageRank(neg, ref, 1e6); err == nil {
+		t.Error("negative rank accepted")
+	}
+}
+
+func TestValidateExactAlgorithms(t *testing.T) {
+	p := Prepare(triangleWithTail())
+	cd := CDLP(p, 5)
+	if err := ValidateCDLP(cd, cd); err != nil {
+		t.Errorf("cdlp self-validate: %v", err)
+	}
+	badCD := CDLP(p, 5)
+	badCD.Label[0] = 99
+	if err := ValidateCDLP(badCD, cd); err == nil {
+		t.Error("cdlp corruption accepted")
+	}
+
+	lcc := LCC(p)
+	if err := ValidateLCC(lcc, lcc); err != nil {
+		t.Errorf("lcc self-validate: %v", err)
+	}
+	wcc := WCC(p)
+	if err := ValidateWCC(wcc, wcc); err != nil {
+		t.Errorf("wcc self-validate: %v", err)
+	}
+	badW := WCC(p)
+	badW.Component[1] = 2
+	if err := ValidateWCC(badW, wcc); err == nil {
+		t.Error("wcc corruption accepted")
+	}
+}
+
+func kroneckerList(scale int, seed uint64) *graph.EdgeList {
+	return kronecker.Generate(kronecker.Params{Scale: scale, Seed: seed})
+}
+
+func firstNonIsolated(p *Prepared) graph.VID {
+	for v := 0; v < p.Out.NumVertices; v++ {
+		if p.Out.Degree(graph.VID(v)) > 0 {
+			return graph.VID(v)
+		}
+	}
+	return 0
+}
+
+func TestPreparedDirectedHasDistinctTranspose(t *testing.T) {
+	el := &graph.EdgeList{
+		NumVertices: 3,
+		Directed:    true,
+		Edges:       []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}},
+	}
+	p := Prepare(el)
+	if p.In == p.Out {
+		t.Fatal("directed graph shares In and Out")
+	}
+	if p.In.Degree(1) != 1 || p.In.Degree(0) != 0 {
+		t.Error("transpose degrees wrong")
+	}
+}

@@ -1,0 +1,160 @@
+// Package xrand provides small, fast, deterministic random number
+// generators for reproducible experiments.
+//
+// Every experiment in this repository is seeded, and parallel workers
+// derive independent streams from a parent seed via SplitMix64, so the
+// same seed always produces the same graph, the same roots, and the
+// same schedule regardless of GOMAXPROCS. The generators are
+// xoshiro256** (public domain, Blackman & Vigna) seeded through
+// SplitMix64, matching common HPC practice.
+package xrand
+
+import "math"
+
+// SplitMix64 advances the given state and returns the next value of
+// the SplitMix64 sequence. It is used both as a seeder for xoshiro
+// streams and as a cheap stateless mixer.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 returns a well-mixed 64-bit hash of x. It is the SplitMix64
+// finalizer and is suitable for hashing loop indices into
+// pseudo-random values without carrying generator state.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// RNG is a xoshiro256** generator. The zero value is invalid; use New.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via SplitMix64.
+func New(seed uint64) *RNG {
+	var r RNG
+	r.Seed(seed)
+	return &r
+}
+
+// Seed resets the generator state deterministically from seed.
+func (r *RNG) Seed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = SplitMix64(&sm)
+	}
+	// xoshiro must not be seeded with all zeros; SplitMix64 cannot
+	// produce four consecutive zeros, so no further check is needed.
+}
+
+// Split returns a new generator whose stream is independent of r's for
+// all practical purposes. It consumes one value from r, so sibling
+// splits differ. Use it to hand child streams to parallel workers.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xd1342543de82ef95)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next value of the xoshiro256** sequence.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint32 returns a uniformly distributed 32-bit value.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if
+// n <= 0. Lemire's multiply-shift rejection method avoids modulo bias.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniformly distributed value in [0, n). It panics
+// if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	// Rejection sampling on the top bits: unbiased and branch-cheap.
+	mask := ^uint64(0)
+	if n&(n-1) == 0 { // power of two
+		return r.Uint64() & (n - 1)
+	}
+	// Smallest mask covering n-1.
+	v := n - 1
+	v |= v >> 1
+	v |= v >> 2
+	v |= v >> 4
+	v |= v >> 8
+	v |= v >> 16
+	v |= v >> 32
+	mask = v
+	for {
+		x := r.Uint64() & mask
+		if x < n {
+			return x
+		}
+	}
+}
+
+// Float64 returns a uniformly distributed value in [0, 1) with 53 bits
+// of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniformly distributed value in [0, 1) with 24 bits
+// of precision.
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / (1 << 24)
+}
+
+// Exp returns an exponentially distributed value with rate 1.
+func (r *RNG) Exp() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n) using Fisher-Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the n elements exchanged by swap in place.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
