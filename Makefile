@@ -1,0 +1,31 @@
+# Lightweight CI for the epg reproduction. `make test` is the tier-1
+# gate; `make race` is the concurrency wall over the parallel runtime
+# and every engine kernel; `make bench` regenerates the paper's tables
+# and figures once; `make baseline` rewrites BENCH_baseline.json.
+
+GO ?= go
+
+.PHONY: all build test race bench baseline vet
+
+all: test race
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/parallel/... ./internal/engines/...
+
+race-full:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+
+baseline:
+	EPG_WRITE_BASELINE=1 $(GO) test -run TestWriteBenchBaseline -v .
+
+vet:
+	$(GO) vet ./...

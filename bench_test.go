@@ -11,17 +11,22 @@
 package epg_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
+	"time"
 
 	"github.com/hpcl-repro/epg"
 	"github.com/hpcl-repro/epg/internal/core"
+	"github.com/hpcl-repro/epg/internal/engines"
 	"github.com/hpcl-repro/epg/internal/engines/gap"
 	"github.com/hpcl-repro/epg/internal/graph"
 	"github.com/hpcl-repro/epg/internal/harness"
+	"github.com/hpcl-repro/epg/internal/kronecker"
 	"github.com/hpcl-repro/epg/internal/simmachine"
 )
 
@@ -401,6 +406,128 @@ func BenchmarkExtensionTriangleCount(b *testing.B) {
 			b.ReportMetric(m.Elapsed()-start, "modeled_s")
 		}
 	}
+}
+
+// --- Parallel runtime wall-clock speedup ----------------------------
+//
+// BenchmarkParallelRuntime measures *real* wall-clock time of the two
+// headline kernels on kron-16 across worker counts. Modeled time is
+// identical at every worker count (the determinism tests enforce it);
+// what changes is how fast this process gets there. On a multicore
+// host the 4-worker runs show the runtime's speedup; on a single-core
+// host they measure scheduling overhead. TestWriteBenchBaseline
+// records the numbers in BENCH_baseline.json when asked.
+
+const speedupScale = 16
+
+// speedupWorkerCounts are the worker counts the baseline records.
+var speedupWorkerCounts = []int{1, 2, 4}
+
+func speedupGraph(b testing.TB) *graph.EdgeList {
+	return kronecker.Generate(kronecker.Params{Scale: speedupScale, Seed: 1})
+}
+
+// speedupInstance loads GAP (the leanest engine: its wall time is
+// dominated by the kernels, not the model bookkeeping).
+func speedupInstance(b testing.TB, el *graph.EdgeList, workers int) (*gap.Instance, graph.VID) {
+	m := simmachine.New(simmachine.Haswell72(), 32)
+	m.SetWorkers(workers)
+	m.SetTracing(false)
+	inst, err := gap.New().Load(el, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst.BuildStructure()
+	csr := graph.BuildCSR(el, graph.BuildOptions{Symmetrize: !el.Directed, DropSelfLoops: true})
+	roots := core.SelectRoots(csr, 1, 1)
+	return inst.(*gap.Instance), roots[0]
+}
+
+func BenchmarkParallelRuntime(b *testing.B) {
+	el := speedupGraph(b)
+	for _, workers := range speedupWorkerCounts {
+		inst, root := speedupInstance(b, el, workers)
+		b.Run(fmt.Sprintf("BFS/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := inst.BFS(root); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("PR/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := inst.PageRank(engines.DefaultPROpts()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestWriteBenchBaseline regenerates BENCH_baseline.json: the
+// wall-clock seconds of GAP BFS and PageRank on kron-16 at 1/2/4 real
+// workers, plus the derived speedups, so later PRs can diff
+// performance against this one. Gated behind EPG_WRITE_BASELINE=1 (it
+// is a measurement, not a correctness check); run via `make baseline`.
+func TestWriteBenchBaseline(t *testing.T) {
+	if os.Getenv("EPG_WRITE_BASELINE") == "" {
+		t.Skip("set EPG_WRITE_BASELINE=1 to rewrite BENCH_baseline.json")
+	}
+	type entry struct {
+		Kernel  string  `json:"kernel"`
+		Workers int     `json:"workers"`
+		Seconds float64 `json:"seconds_per_op"`
+	}
+	baseline := struct {
+		Dataset    string             `json:"dataset"`
+		Engine     string             `json:"engine"`
+		Threads    int                `json:"threads"`
+		GOMAXPROCS int                `json:"gomaxprocs"`
+		Reps       int                `json:"reps"`
+		Results    []entry            `json:"results"`
+		Speedup4W  map[string]float64 `json:"speedup_4w_vs_1w"`
+	}{
+		Dataset:    fmt.Sprintf("kron-%d", speedupScale),
+		Engine:     "GAP",
+		Threads:    32,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Reps:       3,
+		Speedup4W:  map[string]float64{},
+	}
+	el := speedupGraph(t)
+	secs := map[string]map[int]float64{"BFS": {}, "PR": {}}
+	for _, workers := range speedupWorkerCounts {
+		inst, root := speedupInstance(t, el, workers)
+		measure := func(kernel string, run func() error) {
+			if err := run(); err != nil { // warm-up
+				t.Fatal(err)
+			}
+			start := time.Now()
+			for i := 0; i < baseline.Reps; i++ {
+				if err := run(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s := time.Since(start).Seconds() / float64(baseline.Reps)
+			secs[kernel][workers] = s
+			baseline.Results = append(baseline.Results, entry{kernel, workers, s})
+		}
+		measure("BFS", func() error { _, err := inst.BFS(root); return err })
+		measure("PR", func() error { _, err := inst.PageRank(engines.DefaultPROpts()); return err })
+	}
+	for _, kernel := range []string{"BFS", "PR"} {
+		if s4 := secs[kernel][4]; s4 > 0 {
+			baseline.Speedup4W[kernel] = secs[kernel][1] / s4
+		}
+	}
+	data, err := json.MarshalIndent(baseline, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_baseline.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_baseline.json: %s", data)
 }
 
 func harnessDataset(name string) (*graph.EdgeList, error) {

@@ -1,0 +1,3 @@
+module github.com/hpcl-repro/epg
+
+go 1.21

@@ -46,6 +46,10 @@ type Spec struct {
 	// Threads is the virtual thread count (the paper's headline
 	// configuration is 32).
 	Threads int
+	// Workers bounds the real goroutines executing region bodies;
+	// 0 means min(Threads, GOMAXPROCS). Results and modeled durations
+	// never depend on it — it only changes wall-clock time.
+	Workers int
 	// Roots is the number of roots/trials; 0 means DefaultRoots.
 	Roots int
 	// Seed drives root selection.

@@ -5,6 +5,7 @@ package all
 import (
 	"errors"
 	"fmt"
+	"math"
 	"testing"
 
 	"github.com/hpcl-repro/epg/internal/datasets"
@@ -13,6 +14,7 @@ import (
 	"github.com/hpcl-repro/epg/internal/kronecker"
 	"github.com/hpcl-repro/epg/internal/simmachine"
 	"github.com/hpcl-repro/epg/internal/verify"
+	"github.com/hpcl-repro/epg/internal/xrand"
 )
 
 type testGraph struct {
@@ -317,6 +319,236 @@ func TestWCCConformance(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// --- Randomized cross-engine conformance -----------------------------
+//
+// Beyond the fixed shapes above, every pair of engines must agree on
+// seeded random and Kronecker graphs for all six kernels: BFS parent
+// trees valid with equal depth arrays, SSSP distances within
+// tolerance, PageRank ranks within an L1 budget set by the weaker
+// engine's precision, and exact agreement for the deterministic
+// CDLP/LCC/WCC semantics.
+
+// randomGraph generates a seeded uniform random multigraph (self loops
+// and duplicates included: homogenization must absorb them).
+func randomGraph(seed uint64, n int, directed bool) *graph.EdgeList {
+	r := xrand.New(seed)
+	el := &graph.EdgeList{NumVertices: n, Directed: directed, Weighted: true}
+	m := 4 * n
+	for i := 0; i < m; i++ {
+		el.Edges = append(el.Edges, graph.Edge{
+			Src: graph.VID(r.Intn(n)),
+			Dst: graph.VID(r.Intn(n)),
+			W:   float32(r.Float64()*0.99) + 0.01,
+		})
+	}
+	return el
+}
+
+// prTolerance is the pairwise PageRank L1 budget: float64 engines
+// agree to 1e-6; any pair involving a float32 engine gets the
+// precision-floor budget the package-level tolerances use.
+func prTolerance(a, b string) float64 {
+	f32 := map[string]bool{GraphBIG: true, GraphMat: true}
+	if f32[a] || f32[b] {
+		return 1e-2
+	}
+	return 1e-6
+}
+
+func conformanceGraphs() []testGraph {
+	var gs []testGraph
+	for seed := uint64(1); seed <= 3; seed++ {
+		gs = append(gs,
+			testGraph{fmt.Sprintf("rand-undirected-%d", seed), randomGraph(seed, 400, false)},
+			testGraph{fmt.Sprintf("rand-directed-%d", seed), randomGraph(seed+100, 400, true)},
+			testGraph{fmt.Sprintf("kron-%d", seed), kronecker.Generate(kronecker.Params{Scale: 9, Seed: seed})},
+		)
+	}
+	return gs
+}
+
+func TestRandomizedCrossEngineConformance(t *testing.T) {
+	for _, tg := range conformanceGraphs() {
+		t.Run(tg.name, func(t *testing.T) {
+			p := verify.Prepare(tg.el)
+			insts := loadAll(t, tg.el)
+			rs := roots(p, 2)
+			if len(rs) == 0 {
+				t.Fatal("no usable roots")
+			}
+
+			// BFS: validate each engine against the reference, then
+			// require identical depth arrays across every engine pair
+			// (levels are unique even when parent choices are not).
+			for _, root := range rs {
+				ref := verify.BFS(p, root)
+				got := map[string]*engines.BFSResult{}
+				for name, inst := range insts {
+					res, err := inst.BFS(root)
+					if errors.Is(err, engines.ErrUnsupported) {
+						continue
+					}
+					if err != nil {
+						t.Fatalf("%s BFS: %v", name, err)
+					}
+					if err := verify.ValidateBFS(p, res, ref); err != nil {
+						t.Errorf("%s root %d: %v", name, root, err)
+					}
+					got[name] = res
+				}
+				forEachPair(got, func(a, b string, ra, rb *engines.BFSResult) {
+					for v := range ra.Depth {
+						if ra.Depth[v] != rb.Depth[v] {
+							t.Errorf("BFS root %d: %s and %s disagree on depth of %d (%d vs %d)",
+								root, a, b, v, ra.Depth[v], rb.Depth[v])
+							return
+						}
+					}
+				})
+			}
+
+			// SSSP: pairwise distances within the validator tolerance.
+			for _, root := range rs[:1] {
+				ref := verify.SSSP(p, root)
+				got := map[string]*engines.SSSPResult{}
+				for name, inst := range insts {
+					res, err := inst.SSSP(root)
+					if errors.Is(err, engines.ErrUnsupported) {
+						continue
+					}
+					if err != nil {
+						t.Fatalf("%s SSSP: %v", name, err)
+					}
+					if err := verify.ValidateSSSP(p, res, ref); err != nil {
+						t.Errorf("%s root %d: %v", name, root, err)
+					}
+					got[name] = res
+				}
+				forEachPair(got, func(a, b string, ra, rb *engines.SSSPResult) {
+					for v := range ra.Dist {
+						da, db := ra.Dist[v], rb.Dist[v]
+						if math.IsInf(da, 1) != math.IsInf(db, 1) {
+							t.Errorf("SSSP root %d: %s and %s disagree on reachability of %d", root, a, b, v)
+							return
+						}
+						if !math.IsInf(da, 1) && math.Abs(da-db) > 2*verify.SSSPTolerance*(1+math.Abs(da)) {
+							t.Errorf("SSSP root %d: %s and %s disagree at %d (%v vs %v)", root, a, b, v, da, db)
+							return
+						}
+					}
+				})
+			}
+
+			// PageRank: pairwise L1 within the weaker precision.
+			{
+				got := map[string]*engines.PRResult{}
+				for name, inst := range insts {
+					res, err := inst.PageRank(engines.PROpts{})
+					if errors.Is(err, engines.ErrUnsupported) {
+						continue
+					}
+					if err != nil {
+						t.Fatalf("%s PR: %v", name, err)
+					}
+					got[name] = res
+				}
+				forEachPair(got, func(a, b string, ra, rb *engines.PRResult) {
+					l1 := 0.0
+					for v := range ra.Rank {
+						l1 += math.Abs(ra.Rank[v] - rb.Rank[v])
+					}
+					if tol := prTolerance(a, b); l1 > tol {
+						t.Errorf("PR: %s vs %s L1 = %v exceeds %v", a, b, l1, tol)
+					}
+				})
+			}
+
+			// CDLP / WCC: exact pairwise agreement; LCC within epsilon.
+			{
+				got := map[string]*engines.CDLPResult{}
+				for name, inst := range insts {
+					res, err := inst.CDLP(engines.DefaultCDLPIterations)
+					if errors.Is(err, engines.ErrUnsupported) {
+						continue
+					}
+					if err != nil {
+						t.Fatalf("%s CDLP: %v", name, err)
+					}
+					got[name] = res
+				}
+				forEachPair(got, func(a, b string, ra, rb *engines.CDLPResult) {
+					for v := range ra.Label {
+						if ra.Label[v] != rb.Label[v] {
+							t.Errorf("CDLP: %s and %s disagree at %d", a, b, v)
+							return
+						}
+					}
+				})
+			}
+			{
+				got := map[string]*engines.LCCResult{}
+				for name, inst := range insts {
+					res, err := inst.LCC()
+					if errors.Is(err, engines.ErrUnsupported) {
+						continue
+					}
+					if err != nil {
+						t.Fatalf("%s LCC: %v", name, err)
+					}
+					got[name] = res
+				}
+				forEachPair(got, func(a, b string, ra, rb *engines.LCCResult) {
+					for v := range ra.Coeff {
+						if math.Abs(ra.Coeff[v]-rb.Coeff[v]) > 1e-9 {
+							t.Errorf("LCC: %s and %s disagree at %d (%v vs %v)", a, b, v, ra.Coeff[v], rb.Coeff[v])
+							return
+						}
+					}
+				})
+			}
+			{
+				got := map[string]*engines.WCCResult{}
+				for name, inst := range insts {
+					res, err := inst.WCC()
+					if errors.Is(err, engines.ErrUnsupported) {
+						continue
+					}
+					if err != nil {
+						t.Fatalf("%s WCC: %v", name, err)
+					}
+					got[name] = res
+				}
+				forEachPair(got, func(a, b string, ra, rb *engines.WCCResult) {
+					for v := range ra.Component {
+						if ra.Component[v] != rb.Component[v] {
+							t.Errorf("WCC: %s and %s disagree at %d", a, b, v)
+							return
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// forEachPair invokes f once per unordered engine pair, in the
+// registry's presentation order for reproducible failure messages.
+func forEachPair[R any](got map[string]R, f func(a, b string, ra, rb R)) {
+	for i, a := range Names {
+		ra, ok := got[a]
+		if !ok {
+			continue
+		}
+		for _, b := range Names[i+1:] {
+			rb, ok := got[b]
+			if !ok {
+				continue
+			}
+			f(a, b, ra, rb)
+		}
 	}
 }
 

@@ -1,0 +1,221 @@
+// Determinism tests: the parallel runtime's contract is that kernel
+// outputs and simmachine region durations depend only on the Spec —
+// never on the goroutine schedule or the real worker count. Each case
+// runs the same kernel twice at the same worker count and once per
+// extra worker count, comparing outputs bitwise and modeled durations
+// exactly.
+//
+// Scope: BFS and PageRank are fully deterministic in every engine
+// (write-min claims, sorted frontiers, chunk-ordered reductions), as
+// are GraphMat's and PowerGraph's synchronous SSSP. GAP's
+// delta-stepping and GraphBIG's chaotic relaxation have
+// schedule-dependent work traces by design (as the real systems do);
+// for those only the fixed-point distances are bit-compared.
+package all
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcl-repro/epg/internal/core"
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/harness"
+	"github.com/hpcl-repro/epg/internal/kronecker"
+	"github.com/hpcl-repro/epg/internal/simmachine"
+)
+
+// workerCounts exercises serial, oversubscribed, and (on multicore
+// hosts) genuinely parallel execution. Counts above GOMAXPROCS are
+// legal: goroutines are multiplexed.
+var workerCounts = []int{1, 2, 4}
+
+// kernelRun is one engine execution with its observables.
+type kernelRun struct {
+	durations []float64 // per-region modeled seconds, in order
+	elapsed   float64
+	out       any
+}
+
+func runKernel(t *testing.T, name string, alg engines.Algorithm, el *graph.EdgeList, root graph.VID, workers int) kernelRun {
+	t.Helper()
+	eng, err := Registry().New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := simmachine.New(simmachine.Haswell72(), 8)
+	m.SetWorkers(workers)
+	inst, err := eng.Load(el, m)
+	if err != nil {
+		t.Fatalf("%s load: %v", name, err)
+	}
+	inst.BuildStructure()
+	m.Reset()
+	out, err := engines.RunAlgorithm(inst, alg, root)
+	if err != nil {
+		t.Fatalf("%s %s: %v", name, alg, err)
+	}
+	durations := make([]float64, 0, len(m.Trace()))
+	for _, r := range m.Trace() {
+		durations = append(durations, r.Seconds)
+	}
+	return kernelRun{durations: durations, elapsed: m.Elapsed(), out: out}
+}
+
+func sameDurations(t *testing.T, label string, a, b kernelRun) {
+	t.Helper()
+	if a.elapsed != b.elapsed {
+		t.Errorf("%s: modeled elapsed differs: %v vs %v", label, a.elapsed, b.elapsed)
+	}
+	if len(a.durations) != len(b.durations) {
+		t.Errorf("%s: region count differs: %d vs %d", label, len(a.durations), len(b.durations))
+		return
+	}
+	for i := range a.durations {
+		if a.durations[i] != b.durations[i] {
+			t.Errorf("%s: region %d duration %v vs %v", label, i, a.durations[i], b.durations[i])
+			return
+		}
+	}
+}
+
+func sameInt64s(t *testing.T, label string, a, b []int64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("%s: index %d: %d vs %d", label, i, a[i], b[i])
+			return
+		}
+	}
+}
+
+func sameFloat64sBitwise(t *testing.T, label string, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Errorf("%s: index %d: %x vs %x", label, i, math.Float64bits(a[i]), math.Float64bits(b[i]))
+			return
+		}
+	}
+}
+
+func determinismGraph() (*graph.EdgeList, graph.VID) {
+	el := kronecker.Generate(kronecker.Params{Scale: 10, Seed: 42})
+	return el, 2 // any reachable root works; keep it fixed
+}
+
+func TestBFSDeterministicAcrossRunsAndWorkers(t *testing.T) {
+	el, root := determinismGraph()
+	for _, name := range []string{Graph500, GAP, GraphBIG, GraphMat} {
+		t.Run(name, func(t *testing.T) {
+			base := runKernel(t, name, engines.BFS, el, root, workerCounts[0])
+			ref := base.out.(*engines.BFSResult)
+			for _, workers := range workerCounts {
+				for rep := 0; rep < 2; rep++ {
+					got := runKernel(t, name, engines.BFS, el, root, workers)
+					res := got.out.(*engines.BFSResult)
+					sameInt64s(t, "parent", ref.Parent, res.Parent)
+					sameInt64s(t, "depth", ref.Depth, res.Depth)
+					if ref.EdgesExamined != res.EdgesExamined {
+						t.Errorf("edges examined %d vs %d", ref.EdgesExamined, res.EdgesExamined)
+					}
+					sameDurations(t, "bfs", base, got)
+				}
+			}
+		})
+	}
+}
+
+func TestPageRankDeterministicAcrossRunsAndWorkers(t *testing.T) {
+	el, _ := determinismGraph()
+	for _, name := range []string{GAP, GraphBIG, GraphMat, PowerGraph} {
+		t.Run(name, func(t *testing.T) {
+			base := runKernel(t, name, engines.PageRank, el, 0, workerCounts[0])
+			ref := base.out.(*engines.PRResult)
+			for _, workers := range workerCounts {
+				got := runKernel(t, name, engines.PageRank, el, 0, workers)
+				res := got.out.(*engines.PRResult)
+				if ref.Iterations != res.Iterations {
+					t.Errorf("iterations %d vs %d", ref.Iterations, res.Iterations)
+				}
+				sameFloat64sBitwise(t, "rank", ref.Rank, res.Rank)
+				sameDurations(t, "pr", base, got)
+			}
+		})
+	}
+}
+
+func TestSSSPDeterministicAcrossRunsAndWorkers(t *testing.T) {
+	el, root := determinismGraph()
+	// Synchronous engines: everything is deterministic, durations
+	// included. Chaotic engines (GAP delta-stepping, GraphBIG): the
+	// fixed-point distances are deterministic, the work trace is not.
+	sync := map[string]bool{GraphMat: true, PowerGraph: true}
+	for _, name := range []string{GAP, GraphBIG, GraphMat, PowerGraph} {
+		t.Run(name, func(t *testing.T) {
+			base := runKernel(t, name, engines.SSSP, el, root, workerCounts[0])
+			ref := base.out.(*engines.SSSPResult)
+			for _, workers := range workerCounts {
+				got := runKernel(t, name, engines.SSSP, el, root, workers)
+				res := got.out.(*engines.SSSPResult)
+				sameFloat64sBitwise(t, "dist", ref.Dist, res.Dist)
+				if sync[name] {
+					sameInt64s(t, "parent", ref.Parent, res.Parent)
+					if ref.Relaxations != res.Relaxations {
+						t.Errorf("relaxations %d vs %d", ref.Relaxations, res.Relaxations)
+					}
+					sameDurations(t, "sssp", base, got)
+				}
+			}
+		})
+	}
+}
+
+// TestSpecDurationsDeterministic runs the same harness Spec end to end
+// twice and across worker counts: every per-trial modeled measurement
+// must be identical (the paper's figures are functions of the Spec,
+// not of the host's scheduler).
+func TestSpecDurationsDeterministic(t *testing.T) {
+	el := kronecker.Generate(kronecker.Params{Scale: 9, Seed: 7})
+	r := harness.NewRunner(Registry())
+	for _, alg := range []engines.Algorithm{engines.BFS, engines.PageRank} {
+		spec := func(workers int) ([]float64, []float64) {
+			s, err := r.Run(coreSpec(alg, workers), el)
+			if err != nil {
+				t.Fatal(err)
+			}
+			algSec := make([]float64, len(s))
+			consSec := make([]float64, len(s))
+			for i, res := range s {
+				algSec[i] = res.AlgorithmSec
+				consSec[i] = res.ConstructionSec
+			}
+			return algSec, consSec
+		}
+		baseAlg, baseCons := spec(1)
+		for _, workers := range []int{1, 2, 4} {
+			for rep := 0; rep < 2; rep++ {
+				gotAlg, gotCons := spec(workers)
+				sameFloat64sBitwise(t, string(alg)+" algorithm seconds", baseAlg, gotAlg)
+				sameFloat64sBitwise(t, string(alg)+" construction seconds", baseCons, gotCons)
+			}
+		}
+	}
+}
+
+func coreSpec(alg engines.Algorithm, workers int) core.Spec {
+	return core.Spec{
+		Dataset:   "determinism",
+		Algorithm: alg,
+		Threads:   8,
+		Workers:   workers,
+		Roots:     3,
+		Seed:      5,
+	}
+}

@@ -1,27 +1,31 @@
 package gap
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"github.com/hpcl-repro/epg/internal/engines"
 	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/parallel"
 	"github.com/hpcl-repro/epg/internal/simmachine"
 )
 
 // BFS implements engines.Instance with the direction-optimizing
 // algorithm of Beamer et al.: top-down steps process the frontier and
-// claim children with CAS; once the frontier's outgoing edge count
-// exceeds the unexplored edge count divided by α, the search switches
-// to bottom-up steps in which every unvisited vertex scans its
-// in-neighbors for a parent (no atomics needed — each vertex writes
-// only its own state); it switches back once the frontier shrinks
-// below n/β. Setting Alpha <= 0 disables bottom-up entirely (pure
-// top-down), which the ablation benchmarks use.
+// claim children with a priority write (min parent wins); once the
+// frontier's outgoing edge count exceeds the unexplored edge count
+// divided by α, the search switches to bottom-up steps in which every
+// unvisited vertex scans its in-neighbors for a parent (no atomics
+// needed — each vertex writes only its own state); it switches back
+// once the frontier shrinks below n/β. Setting Alpha <= 0 disables
+// bottom-up entirely (pure top-down), which the ablation benchmarks
+// use.
 //
-// As in the real suite, the next frontier's scout count (sum of
-// out-degrees of newly claimed vertices) is accumulated inside the
-// step itself, so each level costs one parallel region.
+// Execution runs on the shared parallel runtime and is deterministic:
+// claims are write-min (so every claimed vertex ends with its minimum
+// frontier in-neighbor as parent, matching the bottom-up rule over
+// sorted adjacency), frontiers are canonicalized by sorting, and every
+// charged cost is a function of chunk contents only — never of the
+// goroutine schedule.
 func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 	inst.ensureBuilt()
 	n := inst.n
@@ -39,6 +43,7 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 	parent[root] = int64(root)
 	depth[root] = 0
 
+	next := parallel.NewQueue[graph.VID](n)
 	frontier := []graph.VID{root}
 	scout := inst.out.Degree(root)
 	level := int64(0)
@@ -55,16 +60,19 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 			}
 		}
 
-		var next []graph.VID
+		next.Reset()
 		var examined, nextScout int64
 		if bottomUp {
-			next, examined, nextScout = inst.stepBottomUp(parent, depth, level)
+			examined, nextScout = inst.stepBottomUp(parent, depth, level, next)
 		} else {
-			next, examined, nextScout = inst.stepTopDown(frontier, parent, depth, level)
+			examined, nextScout = inst.stepTopDown(frontier, parent, depth, level, next)
 		}
 		edgesExamined += examined
 		edgesUnexplored -= scout
-		frontier = next
+		// Sorting canonicalizes the frontier: which worker discovered a
+		// vertex is a race, but the set is not, so the sorted order —
+		// and with it every later chunk boundary — is deterministic.
+		frontier = append(frontier[:0], parallel.SortedQueueSlice(next)...)
 		scout = nextScout
 		level++
 	}
@@ -73,62 +81,71 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 }
 
 // stepTopDown expands the frontier along out-edges, claiming children
-// with CAS. Next-frontier fragments are collected per chunk and
-// concatenated (the real suite uses per-thread queues; the merge cost
-// is charged per vertex).
-func (inst *Instance) stepTopDown(frontier []graph.VID, parent, depth []int64, level int64) (next []graph.VID, examined, nextScout int64) {
-	var mu sync.Mutex
-	inst.m.ParallelFor(len(frontier), 64, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+// with a write-min on the parent array. The next frontier is collected
+// through the atomic queue (per-chunk batches; the real suite's
+// per-thread queues). Charged costs depend only on the frontier slice
+// a chunk owns: scan cost per edge, one atomic per edge whose target
+// is not yet finalized (the set of such edges is fixed by the previous
+// levels), and queue cycles per dequeued vertex.
+func (inst *Instance) stepTopDown(frontier []graph.VID, parent, depth []int64, level int64, next *parallel.Queue[graph.VID]) (examined, nextScout int64) {
+	exa := parallel.NewCounter(inst.m.Workers())
+	sct := parallel.NewCounter(inst.m.Workers())
+	inst.m.ParallelForChunks(len(frontier), 64, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 		var local []graph.VID
 		var edges, claims, localScout int64
 		for _, v := range frontier[lo:hi] {
 			for _, u := range inst.out.Neighbors(v) {
 				edges++
-				if atomic.LoadInt64(&parent[u]) != engines.NoParent {
+				// Finalized before this level (root included): skip.
+				// Racing claims from this level read -1 or level+1 —
+				// both sides of the race take the claim path, so the
+				// eligible-edge count is schedule-independent.
+				if d := atomic.LoadInt64(&depth[u]); d != -1 && d != level+1 {
 					continue
 				}
-				if atomic.CompareAndSwapInt64(&parent[u], engines.NoParent, int64(v)) {
+				claims++
+				if parallel.WriteMinInt64(&parent[u], int64(v), engines.NoParent) {
+					// Exactly one claimer observes the first write:
+					// it owns discovery (queue push, scout count).
 					atomic.StoreInt64(&depth[u], level+1)
 					local = append(local, u)
 					localScout += inst.out.Degree(u)
-					claims++
 				}
 			}
 		}
-		if len(local) > 0 {
-			mu.Lock()
-			next = append(next, local...)
-			mu.Unlock()
-		}
-		atomic.AddInt64(&examined, edges)
-		atomic.AddInt64(&nextScout, localScout)
+		next.PushBatch(local)
+		exa.Add(worker, edges)
+		sct.Add(worker, localScout)
 		w.Charge(costTopDownEdge.Scale(float64(edges)))
 		w.Charge(costClaim.Scale(float64(claims)))
-		w.Cycles(float64(len(local)) * 4) // queue push
+		w.Cycles(float64(hi-lo) * 6) // queue pop + amortized push/sort
 	})
-	return next, examined, nextScout
+	return exa.Sum(), sct.Sum()
 }
 
 // stepBottomUp scans unvisited vertices for a parent on the frontier
 // (identified by depth == level). Each vertex mutates only its own
 // entries, so no atomics are charged — the source of GAP's superior
-// scaling on low-diameter graphs.
-func (inst *Instance) stepBottomUp(parent, depth []int64, level int64) (next []graph.VID, examined, nextScout int64) {
+// scaling on low-diameter graphs. Taking the first match in sorted
+// in-adjacency yields the minimum-ID parent, the same rule the
+// top-down write-min enforces.
+func (inst *Instance) stepBottomUp(parent, depth []int64, level int64, next *parallel.Queue[graph.VID]) (examined, nextScout int64) {
 	n := inst.n
-	var mu sync.Mutex
-	inst.m.ParallelFor(n, 1024, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+	exa := parallel.NewCounter(inst.m.Workers())
+	sct := parallel.NewCounter(inst.m.Workers())
+	inst.m.ParallelForChunks(n, 1024, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 		var local []graph.VID
 		var edges, localScout int64
 		for v := lo; v < hi; v++ {
-			if atomic.LoadInt64(&parent[v]) != engines.NoParent {
+			if parent[v] != engines.NoParent {
 				continue
 			}
 			for _, u := range inst.in.Neighbors(graph.VID(v)) {
 				edges++
 				// depth[u] == level implies u was claimed in an
-				// earlier step, so its parent entry is stable.
+				// earlier step, so its entry is stable this region.
 				if atomic.LoadInt64(&depth[u]) == level {
-					atomic.StoreInt64(&parent[v], int64(u))
+					parent[v] = int64(u)
 					atomic.StoreInt64(&depth[v], level+1)
 					local = append(local, graph.VID(v))
 					localScout += inst.out.Degree(graph.VID(v))
@@ -136,16 +153,12 @@ func (inst *Instance) stepBottomUp(parent, depth []int64, level int64) (next []g
 				}
 			}
 		}
-		if len(local) > 0 {
-			mu.Lock()
-			next = append(next, local...)
-			mu.Unlock()
-		}
-		atomic.AddInt64(&examined, edges)
-		atomic.AddInt64(&nextScout, localScout)
+		next.PushBatch(local)
+		exa.Add(worker, edges)
+		sct.Add(worker, localScout)
 		w.Charge(costBottomUpEdge.Scale(float64(edges)))
 		w.Cycles(float64(hi-lo) * 2) // visited-bitmap test per vertex
 		w.Bytes(float64(hi-lo) * 1)
 	})
-	return next, examined, nextScout
+	return exa.Sum(), sct.Sum()
 }

@@ -6,6 +6,7 @@ import (
 
 	"github.com/hpcl-repro/epg/internal/engines"
 	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/parallel"
 	"github.com/hpcl-repro/epg/internal/simmachine"
 )
 
@@ -13,7 +14,9 @@ import (
 // formulation: each vertex gathers rank/degree contributions from its
 // in-neighbors, so no atomics are needed in the hot loop. Scores are
 // float64; the stopping criterion is the paper's homogenized L1 norm
-// with ε = 6e-8.
+// with ε = 6e-8. The dangling-mass and L1 reductions fold per-chunk
+// partials in chunk order, so ranks and iteration counts are
+// bit-identical across runs and worker counts.
 func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 	inst.ensureBuilt()
 	opts = opts.Normalize()
@@ -33,8 +36,8 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 	res := &engines.PRResult{}
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		// Per-vertex contributions and the dangling sum.
-		var danglingBits uint64
-		inst.m.ParallelFor(n, 2048, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+		dr := parallel.NewReducer[float64](parallel.NumChunks(n, 2048))
+		inst.m.ParallelForChunks(n, 2048, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			var localDangling float64
 			for v := lo; v < hi; v++ {
 				if outDeg[v] == 0 {
@@ -44,11 +47,11 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 				}
 				contrib[v] = rank[v] / float64(outDeg[v])
 			}
-			atomicAddFloat64(&danglingBits, localDangling)
+			*dr.At(chunk) = localDangling
 			w.Cycles(float64(hi-lo) * 3)
 			w.Bytes(float64(hi-lo) * 16)
 		})
-		dangling := math.Float64frombits(atomic.LoadUint64(&danglingBits))
+		dangling := parallel.SumFloat64(dr)
 		base := (1-opts.Damping)*inv + opts.Damping*dangling*inv
 
 		// Pull phase.
@@ -67,17 +70,17 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 		})
 
 		// L1 convergence test.
-		var l1Bits uint64
-		inst.m.ParallelFor(n, 4096, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+		lr := parallel.NewReducer[float64](parallel.NumChunks(n, 4096))
+		inst.m.ParallelForChunks(n, 4096, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			local := 0.0
 			for v := lo; v < hi; v++ {
 				local += math.Abs(next[v] - rank[v])
 			}
-			atomicAddFloat64(&l1Bits, local)
+			*lr.At(chunk) = local
 			w.Cycles(float64(hi-lo) * 4)
 			w.Bytes(float64(hi-lo) * 16)
 		})
-		l1 := math.Float64frombits(atomic.LoadUint64(&l1Bits))
+		l1 := parallel.SumFloat64(lr)
 
 		rank, next = next, rank
 		res.Iterations = iter

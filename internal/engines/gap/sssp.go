@@ -7,6 +7,7 @@ import (
 
 	"github.com/hpcl-repro/epg/internal/engines"
 	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/parallel"
 	"github.com/hpcl-repro/epg/internal/simmachine"
 )
 
@@ -60,7 +61,7 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 	}
 
 	buckets := [][]graph.VID{{root}}
-	var relaxations int64
+	relax := parallel.NewCounter(inst.m.Workers())
 
 	bucketOf := func(d float64) int { return int(d / delta) }
 	put := func(bkts [][]graph.VID, idx int, v graph.VID) [][]graph.VID {
@@ -81,7 +82,7 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 			var mu sync.Mutex
 			var reAdd []graph.VID
 			var later [][2]int64 // (bucket, vertex) pairs found for later buckets
-			inst.m.ParallelFor(len(current), 32, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+			inst.m.ParallelForChunks(len(current), 32, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 				var localRe []graph.VID
 				var localLater [][2]int64
 				var edges, wins int64
@@ -115,7 +116,7 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 					later = append(later, localLater...)
 					mu.Unlock()
 				}
-				atomic.AddInt64(&relaxations, edges)
+				relax.Add(worker, edges)
 				w.Charge(costRelax.Scale(float64(edges)))
 				w.Charge(costClaim.Scale(float64(wins)))
 				w.Charge(costBucketOp.Scale(float64(len(localRe) + len(localLater))))
@@ -129,7 +130,7 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 		if len(heavyFrontier) > 0 {
 			var mu sync.Mutex
 			var found [][2]int64
-			inst.m.ParallelFor(len(heavyFrontier), 32, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+			inst.m.ParallelForChunks(len(heavyFrontier), 32, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 				var local [][2]int64
 				var edges, wins int64
 				for _, v := range heavyFrontier[lo:hi] {
@@ -154,7 +155,7 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 					found = append(found, local...)
 					mu.Unlock()
 				}
-				atomic.AddInt64(&relaxations, edges)
+				relax.Add(worker, edges)
 				w.Charge(costRelax.Scale(float64(edges)))
 				w.Charge(costClaim.Scale(float64(wins)))
 				w.Charge(costBucketOp.Scale(float64(len(local))))
@@ -174,6 +175,6 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 	for v := 0; v < n; v++ {
 		res.Dist[v] = math.Float64frombits(dist[v])
 	}
-	res.Relaxations = relaxations
+	res.Relaxations = relax.Sum()
 	return res, nil
 }

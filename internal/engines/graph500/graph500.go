@@ -18,11 +18,11 @@
 package graph500
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"github.com/hpcl-repro/epg/internal/engines"
 	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/parallel"
 	"github.com/hpcl-repro/epg/internal/simmachine"
 )
 
@@ -102,6 +102,7 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 	res.Parent[root] = int64(root)
 	res.Depth[root] = 0
 
+	queue := parallel.NewQueue[graph.VID](n)
 	frontier := []graph.VID{root}
 	level := int64(0)
 	var examined int64
@@ -109,35 +110,37 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 	// round-robin across threads regardless of degree skew.
 	grain := 128
 	for len(frontier) > 0 {
-		var mu sync.Mutex
-		var next []graph.VID
-		inst.m.ParallelFor(len(frontier), grain, simmachine.Static, func(lo, hi int, w *simmachine.W) {
+		queue.Reset()
+		exa := parallel.NewCounter(inst.m.Workers())
+		inst.m.ParallelForChunks(len(frontier), grain, simmachine.Static, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			var local []graph.VID
 			var edges, claims int64
 			for _, v := range frontier[lo:hi] {
 				for _, u := range inst.csr.Neighbors(v) {
 					edges++
-					if atomic.LoadInt64(&res.Parent[u]) != engines.NoParent {
+					// The reference CASes every sighting of a vertex
+					// not finalized before this level; that set — and
+					// so the charge — is schedule-independent.
+					if d := atomic.LoadInt64(&res.Depth[u]); d != -1 && d != level+1 {
 						continue
 					}
-					claims++ // the reference CASes every unvisited sighting
-					if atomic.CompareAndSwapInt64(&res.Parent[u], engines.NoParent, int64(v)) {
+					claims++
+					if parallel.WriteMinInt64(&res.Parent[u], int64(v), engines.NoParent) {
 						atomic.StoreInt64(&res.Depth[u], level+1)
 						local = append(local, u)
 					}
 				}
 			}
-			if len(local) > 0 {
-				mu.Lock()
-				next = append(next, local...)
-				mu.Unlock()
-			}
-			atomic.AddInt64(&examined, edges)
+			queue.PushBatch(local)
+			exa.Add(worker, edges)
 			w.Charge(costEdge.Scale(float64(edges)))
 			w.Charge(costClaim.Scale(float64(claims)))
-			w.Cycles(float64(len(local)) * 4)
+			w.Cycles(float64(hi-lo) * 6) // dequeue + amortized push/sort
 		})
-		frontier = next
+		examined += exa.Sum()
+		// Canonical frontier order: discovery is racy, membership and
+		// the write-min parents are not.
+		frontier = append(frontier[:0], parallel.SortedQueueSlice(queue)...)
 		level++
 	}
 	res.EdgesExamined = examined

@@ -6,14 +6,18 @@ import (
 
 	"github.com/hpcl-repro/epg/internal/engines"
 	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/parallel"
 	"github.com/hpcl-repro/epg/internal/simmachine"
 )
 
-// PageRank implements engines.Instance: push-based accumulation into
-// float32 vertex properties guarded by atomic adds — System G stores
-// single-precision rank properties, so the paper's ε = 6e-8 stopping
-// threshold sits at float32's precision floor and GraphBIG needs more
-// iterations than the float64 engines to get under it.
+// PageRank implements engines.Instance: edge-wise accumulation into
+// float32 vertex properties — System G stores single-precision rank
+// properties, so the paper's ε = 6e-8 stopping threshold sits at
+// float32's precision floor and GraphBIG needs more iterations than
+// the float64 engines to get under it. The accumulation gathers along
+// in-edges (each vertex folds its own property in adjacency order), so
+// the per-edge lock traffic System G pays is charged per edge while
+// the float32 sums stay bit-identical across runs and worker counts.
 func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 	opts = opts.Normalize()
 	n := inst.n
@@ -21,61 +25,56 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 		return &engines.PRResult{}, nil
 	}
 	inv := float32(1.0 / float64(n))
-	rank := make([]uint32, n) // float32 bits for atomic adds
-	next := make([]uint32, n)
+	rank := make([]float32, n)
+	next := make([]float32, n)
 	for i := range rank {
-		rank[i] = math.Float32bits(inv)
+		rank[i] = inv
 	}
 	res := &engines.PRResult{}
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		// Dangling mass (float64 reduction of float32 properties).
-		var danglingBits uint64
-		inst.m.ParallelFor(n, 4096, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+		// Dangling mass (float64 reduction of float32 properties,
+		// folded in chunk order for determinism).
+		dr := parallel.NewReducer[float64](parallel.NumChunks(n, 4096))
+		inst.m.ParallelForChunks(n, 4096, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			local := 0.0
 			for v := lo; v < hi; v++ {
 				if len(inst.vertices[v].out) == 0 {
-					local += float64(math.Float32frombits(rank[v]))
+					local += float64(rank[v])
 				}
 			}
-			atomicAdd64(&danglingBits, local)
+			*dr.At(chunk) = local
 			w.Charge(costPRVertex.Scale(float64(hi-lo) * 0.25))
 		})
-		dangling := math.Float64frombits(atomic.LoadUint64(&danglingBits))
+		dangling := parallel.SumFloat64(dr)
 		base := float32((1-opts.Damping)/float64(n) + opts.Damping*dangling/float64(n))
-		for i := range next {
-			next[i] = math.Float32bits(base)
-		}
 
-		// Push phase: atomic float32 accumulation per edge.
+		// Gather phase: fold in-neighbor shares in float32, per-vertex
+		// property updates under System G's per-edge lock cost.
 		inst.m.ParallelFor(n, 512, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
 			var edges int64
 			for v := lo; v < hi; v++ {
-				out := inst.vertices[v].out
-				if len(out) == 0 {
-					continue
+				var sum float32
+				for _, u := range inst.inNeighbors(graph.VID(v)) {
+					sum += rank[u] / float32(len(inst.vertices[u].out))
 				}
-				share := float32(opts.Damping) * math.Float32frombits(rank[v]) / float32(len(out))
-				for _, u := range out {
-					atomicAdd32(&next[u], share)
-				}
-				edges += int64(len(out))
+				edges += int64(len(inst.inNeighbors(graph.VID(v))))
+				next[v] = base + float32(opts.Damping)*sum
 			}
 			w.Charge(costPREdge.Scale(float64(edges)))
 			w.Charge(costPRVertex.Scale(float64(hi - lo)))
 		})
 
 		// L1 over float32 properties, accumulated in float64.
-		var l1Bits uint64
-		inst.m.ParallelFor(n, 4096, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+		lr := parallel.NewReducer[float64](parallel.NumChunks(n, 4096))
+		inst.m.ParallelForChunks(n, 4096, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			local := 0.0
 			for v := lo; v < hi; v++ {
-				d := float64(math.Float32frombits(next[v])) - float64(math.Float32frombits(rank[v]))
-				local += math.Abs(d)
+				local += math.Abs(float64(next[v]) - float64(rank[v]))
 			}
-			atomicAdd64(&l1Bits, local)
+			*lr.At(chunk) = local
 			w.Charge(costPRVertex.Scale(float64(hi-lo) * 0.5))
 		})
-		l1 := math.Float64frombits(atomic.LoadUint64(&l1Bits))
+		l1 := parallel.SumFloat64(lr)
 
 		rank, next = next, rank
 		res.Iterations = iter
@@ -85,29 +84,9 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 	}
 	res.Rank = make([]float64, n)
 	for v := 0; v < n; v++ {
-		res.Rank[v] = float64(math.Float32frombits(rank[v]))
+		res.Rank[v] = float64(rank[v])
 	}
 	return res, nil
-}
-
-func atomicAdd64(bits *uint64, delta float64) {
-	for {
-		old := atomic.LoadUint64(bits)
-		nv := math.Float64bits(math.Float64frombits(old) + delta)
-		if atomic.CompareAndSwapUint64(bits, old, nv) {
-			return
-		}
-	}
-}
-
-func atomicAdd32(bits *uint32, delta float32) {
-	for {
-		old := atomic.LoadUint32(bits)
-		nv := math.Float32bits(math.Float32frombits(old) + delta)
-		if atomic.CompareAndSwapUint32(bits, old, nv) {
-			return
-		}
-	}
 }
 
 // CDLP implements engines.Instance: synchronous label propagation

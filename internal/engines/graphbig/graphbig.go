@@ -19,11 +19,11 @@ package graphbig
 
 import (
 	"math"
-	"sync"
 	"sync/atomic"
 
 	"github.com/hpcl-repro/epg/internal/engines"
 	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/parallel"
 	"github.com/hpcl-repro/epg/internal/simmachine"
 )
 
@@ -148,38 +148,41 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 	res.Parent[root] = int64(root)
 	res.Depth[root] = 0
 
+	queue := parallel.NewQueue[graph.VID](n)
 	frontier := []graph.VID{root}
 	level := int64(0)
 	var examined int64
 	for len(frontier) > 0 {
-		var mu sync.Mutex
-		var next []graph.VID
-		inst.m.ParallelFor(len(frontier), 32, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+		queue.Reset()
+		exa := parallel.NewCounter(inst.m.Workers())
+		inst.m.ParallelForChunks(len(frontier), 32, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			var local []graph.VID
 			var edges, visits int64
 			for _, v := range frontier[lo:hi] {
 				for _, u := range inst.vertices[v].out {
 					edges++
-					if atomic.LoadInt64(&res.Parent[u]) != engines.NoParent {
+					// Property-lock acquisitions hit every sighting of
+					// a vertex not finalized before this level — a set
+					// fixed by earlier levels, so the charge is
+					// schedule-independent.
+					if d := atomic.LoadInt64(&res.Depth[u]); d != -1 && d != level+1 {
 						continue
 					}
 					visits++
-					if atomic.CompareAndSwapInt64(&res.Parent[u], engines.NoParent, int64(v)) {
+					if parallel.WriteMinInt64(&res.Parent[u], int64(v), engines.NoParent) {
 						atomic.StoreInt64(&res.Depth[u], level+1)
 						local = append(local, u)
 					}
 				}
 			}
-			if len(local) > 0 {
-				mu.Lock()
-				next = append(next, local...)
-				mu.Unlock()
-			}
-			atomic.AddInt64(&examined, edges)
+			queue.PushBatch(local)
+			exa.Add(worker, edges)
 			w.Charge(costBFSEdge.Scale(float64(edges)))
 			w.Charge(costVisit.Scale(float64(visits)))
+			w.Cycles(float64(hi-lo) * 4) // frontier queue traffic
 		})
-		frontier = next
+		examined += exa.Sum()
+		frontier = append(frontier[:0], parallel.SortedQueueSlice(queue)...)
 		level++
 	}
 	res.EdgesExamined = examined
@@ -208,13 +211,13 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 	dist[root] = math.Float64bits(0)
 	res.Parent[root] = int64(root)
 
+	queue := parallel.NewQueue[graph.VID](n)
 	active := []graph.VID{root}
 	inActive := make([]int32, n)
-	var relaxations int64
+	relax := parallel.NewCounter(inst.m.Workers())
 	for len(active) > 0 {
-		var mu sync.Mutex
-		var next []graph.VID
-		inst.m.ParallelFor(len(active), 32, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+		queue.Reset()
+		inst.m.ParallelForChunks(len(active), 32, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			var local []graph.VID
 			var edges int64
 			for _, v := range active[lo:hi] {
@@ -224,35 +227,29 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 				for i, u := range vp.out {
 					edges++
 					nd := dv + float64(vp.w[i])
-					for {
-						old := atomic.LoadUint64(&dist[u])
-						if math.Float64frombits(old) <= nd {
-							break
-						}
-						if atomic.CompareAndSwapUint64(&dist[u], old, math.Float64bits(nd)) {
-							atomic.StoreInt64(&res.Parent[u], int64(v))
-							if atomic.CompareAndSwapInt32(&inActive[u], 0, 1) {
-								local = append(local, u)
-							}
-							break
+					if parallel.WriteMinFloat64Bits(&dist[u], nd) {
+						atomic.StoreInt64(&res.Parent[u], int64(v))
+						// The inActive guard bounds the queue: each
+						// vertex enters the next frontier once per pass.
+						if atomic.CompareAndSwapInt32(&inActive[u], 0, 1) {
+							local = append(local, u)
 						}
 					}
 				}
 			}
-			if len(local) > 0 {
-				mu.Lock()
-				next = append(next, local...)
-				mu.Unlock()
-			}
-			atomic.AddInt64(&relaxations, edges)
+			queue.PushBatch(local)
+			relax.Add(worker, edges)
 			w.Charge(costSSSPEdge.Scale(float64(edges)))
 			w.Charge(costPropTouch.Scale(float64(hi - lo)))
 		})
-		active = next
+		// Chaotic relaxation: the active-set composition is
+		// schedule-dependent by design (System G's character); the
+		// fixed-point distances are not.
+		active = append(active[:0], queue.Slice()...)
 	}
 	for v := 0; v < n; v++ {
 		res.Dist[v] = math.Float64frombits(dist[v])
 	}
-	res.Relaxations = relaxations
+	res.Relaxations = relax.Sum()
 	return res, nil
 }

@@ -35,7 +35,7 @@ func (inst *Instance) CDLP(maxIter int) (*engines.CDLPResult, error) {
 	for iter := 1; iter <= maxIter; iter++ {
 		copy(next, label)
 		var changed int64
-		inst.spmvRows(inst.inMat, func(ri int, w *simmachine.W) {
+		inst.spmvRows(inst.inMat, func(ri, _ int, w *simmachine.W) {
 			v := inst.inMat.rows[ri]
 			counts := make(map[graph.VID]int)
 			lo, hi := inst.inMat.ptr[ri], inst.inMat.ptr[ri+1]
@@ -63,7 +63,7 @@ func (inst *Instance) CDLP(maxIter int) (*engines.CDLPResult, error) {
 		// Directed graphs: vertices with only out-edges never appear
 		// as inMat rows; give them their histogram too.
 		if inst.directed {
-			inst.spmvRows(inst.outMat, func(ri int, w *simmachine.W) {
+			inst.spmvRows(inst.outMat, func(ri, _ int, w *simmachine.W) {
 				v := inst.outMat.rows[ri]
 				// Skip vertices already handled via inMat rows.
 				if hasInRow(inst.inMat, v) {
@@ -138,7 +138,7 @@ func (inst *Instance) WCC() (*engines.WCCResult, error) {
 	}
 	sweep := func(mat *dcsr) int64 {
 		var changed int64
-		inst.spmvRows(mat, func(ri int, w *simmachine.W) {
+		inst.spmvRows(mat, func(ri, _ int, w *simmachine.W) {
 			v := mat.rows[ri]
 			lo, hi := mat.ptr[ri], mat.ptr[ri+1]
 			min := next[v]

@@ -6,18 +6,20 @@ import (
 
 	"github.com/hpcl-repro/epg/internal/engines"
 	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/parallel"
 	"github.com/hpcl-repro/epg/internal/simmachine"
 )
 
 // spmvRows sweeps the compressed rows of mat in parallel, invoking
-// body for each row. Row-header costs are charged for every stored
-// row each sweep — the SpMV character that makes GraphMat's
-// per-iteration cost proportional to the stored matrix, not the
-// active frontier.
-func (inst *Instance) spmvRows(mat *dcsr, body func(ri int, w *simmachine.W)) {
-	inst.m.ParallelFor(len(mat.rows), 256, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+// body for each row with the real worker ID (for contention-free
+// counters). Row-header costs are charged for every stored row each
+// sweep — the SpMV character that makes GraphMat's per-iteration cost
+// proportional to the stored matrix, not the active frontier. Each row
+// writes only row-owned state, so the sweeps are deterministic.
+func (inst *Instance) spmvRows(mat *dcsr, body func(ri, worker int, w *simmachine.W)) {
+	inst.m.ParallelForChunks(len(mat.rows), 256, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 		for ri := lo; ri < hi; ri++ {
-			body(ri, w)
+			body(ri, worker, w)
 		}
 		w.Charge(costRowHeader.Scale(float64(hi - lo)))
 	})
@@ -55,16 +57,18 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 	active[root] = true
 	var examined int64
 
+	workers := inst.m.Workers()
 	for level := int64(0); ; level++ {
-		var found int64
-		inst.spmvRows(inst.inMat, func(ri int, w *simmachine.W) {
+		exa := parallel.NewCounter(workers)
+		fnd := parallel.NewCounter(workers)
+		inst.spmvRows(inst.inMat, func(ri, worker int, w *simmachine.W) {
 			v := inst.inMat.rows[ri]
 			lo, hi := inst.inMat.ptr[ri], inst.inMat.ptr[ri+1]
 			scanned := hi - lo
 			// GraphMat 1.0 evaluates the semiring over every
 			// stored nonzero each sweep; the full scan is charged
 			// whether or not this row can still change.
-			atomic.AddInt64(&examined, scanned)
+			exa.Add(worker, scanned)
 			w.Charge(costScanNZ.Scale(float64(scanned)))
 			if res.Parent[v] != engines.NoParent {
 				return
@@ -84,14 +88,15 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 				res.Parent[v] = parent
 				res.Depth[v] = level + 1
 				nextActive[v] = true
-				atomic.AddInt64(&found, 1)
+				fnd.Add(worker, 1)
 				w.Charge(costProcessNZ)
 			}
 		})
+		examined += exa.Sum()
 		// APPLY plus the sparse-vector rebuild and mask updates
 		// GraphMat performs between SpMV calls.
 		inst.denseSweep(3)
-		if found == 0 {
+		if fnd.Sum() == 0 {
 			break
 		}
 		active, nextActive = nextActive, active
@@ -130,12 +135,12 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 	active := make([]bool, n)
 	nextActive := make([]bool, n)
 	active[root] = true
-	var relaxations int64
+	relax := parallel.NewCounter(inst.m.Workers())
 
 	for {
 		copy(nxt, cur)
-		var changed int64
-		inst.spmvRows(inst.inMat, func(ri int, w *simmachine.W) {
+		chg := parallel.NewCounter(inst.m.Workers())
+		inst.spmvRows(inst.inMat, func(ri, worker int, w *simmachine.W) {
 			v := inst.inMat.rows[ri]
 			lo, hi := inst.inMat.ptr[ri], inst.inMat.ptr[ri+1]
 			best := cur[v]
@@ -153,18 +158,18 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 				}
 			}
 			scanned := hi - lo
-			atomic.AddInt64(&relaxations, processed)
+			relax.Add(worker, processed)
 			w.Charge(costScanNZ.Scale(float64(scanned)))
 			w.Charge(costProcessNZ.Scale(float64(processed)))
 			if bestParent != -2 {
 				nxt[v] = best
 				res.Parent[v] = bestParent
 				nextActive[v] = true
-				atomic.AddInt64(&changed, 1)
+				chg.Add(worker, 1)
 			}
 		})
 		inst.denseSweep(2) // copy + apply
-		if changed == 0 {
+		if chg.Sum() == 0 {
 			break
 		}
 		cur, nxt = nxt, cur
@@ -174,7 +179,7 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 	for v := 0; v < n; v++ {
 		res.Dist[v] = float64(cur[v])
 	}
-	res.Relaxations = relaxations
+	res.Relaxations = relax.Sum()
 	return res, nil
 }
 
@@ -201,8 +206,8 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 	// it headroom above the homogenized cap, as the paper observed.
 	maxIter := opts.MaxIter * 2
 	for iter := 1; iter <= maxIter; iter++ {
-		var danglingBits uint64
-		inst.m.ParallelFor(n, 4096, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+		dr := parallel.NewReducer[float64](parallel.NumChunks(n, 4096))
+		inst.m.ParallelForChunks(n, 4096, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			local := 0.0
 			for v := lo; v < hi; v++ {
 				if inst.outDeg[v] == 0 {
@@ -212,17 +217,17 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 				}
 				contrib[v] = rank[v] / float32(inst.outDeg[v])
 			}
-			addFloat64(&danglingBits, local)
+			*dr.At(chunk) = local
 			w.Charge(costVecEntry.Scale(float64(hi - lo)))
 		})
-		dangling := math.Float64frombits(atomic.LoadUint64(&danglingBits))
+		dangling := parallel.SumFloat64(dr)
 		base := float32((1-opts.Damping)/float64(n) + opts.Damping*dangling/float64(n))
 
 		for i := range next {
 			next[i] = base
 		}
 		var changed int64
-		inst.spmvRows(inst.inMat, func(ri int, w *simmachine.W) {
+		inst.spmvRows(inst.inMat, func(ri, worker int, w *simmachine.W) {
 			v := inst.inMat.rows[ri]
 			lo, hi := inst.inMat.ptr[ri], inst.inMat.ptr[ri+1]
 			var sum float32
@@ -280,16 +285,6 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 		res.Rank[v] = float64(rank[v])
 	}
 	return res, nil
-}
-
-func addFloat64(bits *uint64, delta float64) {
-	for {
-		old := atomic.LoadUint64(bits)
-		nv := math.Float64bits(math.Float64frombits(old) + delta)
-		if atomic.CompareAndSwapUint64(bits, old, nv) {
-			return
-		}
-	}
 }
 
 // atomicMaxFloat64 raises the non-negative float64 stored in bits to

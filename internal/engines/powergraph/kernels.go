@@ -6,12 +6,17 @@ import (
 
 	"github.com/hpcl-repro/epg/internal/engines"
 	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/parallel"
 	"github.com/hpcl-repro/epg/internal/simmachine"
 )
 
-// SSSP implements engines.Instance as a GAS vertex program: gather
-// takes the min over in-edges from active sources, apply commits the
-// improvement, scatter re-activates improved vertices.
+// SSSP implements engines.Instance as a synchronous GAS vertex
+// program: gather takes the min over in-edges from active sources into
+// each shard's replica slot, the ghost-sync combine folds the replicas
+// in shard order, apply commits the improvement, scatter re-activates
+// improved vertices. Distances are read from the previous superstep
+// only, so supersteps — and with them distances, parents (min-source
+// tie-break), and every charged cost — are schedule-independent.
 func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 	if !inst.weighted {
 		return nil, engines.ErrUnsupported
@@ -22,68 +27,78 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 		Dist:   make([]float64, n),
 		Parent: make([]int64, n),
 	}
-	dist := make([]uint64, n)
-	inf := math.Float64bits(math.Inf(1))
+	dist := res.Dist
+	inf := math.Inf(1)
 	for i := range dist {
 		dist[i] = inf
 		res.Parent[i] = engines.NoParent
 	}
-	dist[root] = math.Float64bits(0)
+	dist[root] = 0
 	res.Parent[root] = int64(root)
 
+	accD := make([]float64, inst.totalRep)
+	accP := make([]int64, inst.totalRep)
+	for i := range accD {
+		accD[i] = inf
+	}
+
 	active := make([]bool, n)
+	next := make([]bool, n)
 	active[root] = true
 	var relaxations int64
 
 	for {
-		improved := make([]int32, n)
-		var any int64
-		inst.gatherSweep(active, func(e shardEdge) {
-			dv := math.Float64frombits(atomic.LoadUint64(&dist[e.src]))
-			nd := dv + float64(e.w)
-			for {
-				old := atomic.LoadUint64(&dist[e.dst])
-				if math.Float64frombits(old) <= nd {
-					break
-				}
-				if atomic.CompareAndSwapUint64(&dist[e.dst], old, math.Float64bits(nd)) {
-					atomic.StoreInt64(&res.Parent[e.dst], int64(e.src))
-					atomic.StoreInt32(&improved[e.dst], 1)
-					break
-				}
+		relaxations += inst.gatherSweep(active, func(s int, e shardEdge) {
+			nd := dist[e.src] + float64(e.w)
+			i := inst.slot(e.dst, s)
+			if nd < accD[i] || (nd == accD[i] && int64(e.src) < accP[i]) {
+				accD[i] = nd
+				accP[i] = int64(e.src)
 			}
-			atomic.AddInt64(&relaxations, 1)
 		})
-		inst.syncGhosts()
-		// Apply + scatter: activate improved vertices.
-		next := make([]bool, n)
-		inst.m.ParallelFor(n, 2048, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
-			var applied int64
+		// Ghost sync + apply + scatter: combine each vertex's replica
+		// accumulators in shard order, commit improvements, activate.
+		anyc := parallel.NewCounter(inst.m.Workers())
+		inst.m.ParallelForChunks(n, 2048, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+			var applied, reps int64
 			for v := lo; v < hi; v++ {
-				if improved[v] != 0 {
+				best := inf
+				var bp int64
+				slo, shi := inst.slotRange(graph.VID(v))
+				reps += shi - slo
+				for i := slo; i < shi; i++ {
+					if accD[i] < best || (accD[i] == best && accP[i] < bp) {
+						best, bp = accD[i], accP[i]
+					}
+					accD[i] = inf
+				}
+				next[v] = false
+				if best < dist[v] {
+					dist[v] = best
+					res.Parent[v] = bp
 					next[v] = true
 					applied++
-					atomic.AddInt64(&any, 1)
 				}
 			}
+			anyc.Add(worker, applied)
+			w.Charge(costSyncReplica.Scale(float64(reps)))
 			w.Charge(costApplyVertex.Scale(float64(applied)))
 			w.Cycles(float64(hi-lo) * 1)
 		})
-		if any == 0 {
+		if anyc.Sum() == 0 {
 			break
 		}
-		active = next
-	}
-	for v := 0; v < n; v++ {
-		res.Dist[v] = math.Float64frombits(dist[v])
+		active, next = next, active
 	}
 	res.Relaxations = relaxations
 	return res, nil
 }
 
-// PageRank implements engines.Instance: sum-gather over in-edges,
-// apply with the homogenized float64 L1 stopping criterion (the paper
-// modified each system to use it where possible).
+// PageRank implements engines.Instance: sum-gather over in-edges into
+// shard-local replica accumulators, ghost-sync combine in shard order
+// (bit-deterministic float64 sums), apply with the homogenized float64
+// L1 stopping criterion (the paper modified each system to use it
+// where possible).
 func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 	opts = opts.Normalize()
 	n := inst.n
@@ -97,15 +112,14 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 	}
 	outDeg := inst.out.OutDegrees()
 	contrib := make([]float64, n)
-	acc := make([]uint64, n)
+	acc := make([]float64, inst.totalRep)
 
 	res := &engines.PRResult{}
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		var danglingBits uint64
-		inst.m.ParallelFor(n, 4096, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+		dr := parallel.NewReducer[float64](parallel.NumChunks(n, 4096))
+		inst.m.ParallelForChunks(n, 4096, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			local := 0.0
 			for v := lo; v < hi; v++ {
-				acc[v] = 0
 				if outDeg[v] == 0 {
 					local += rank[v]
 					contrib[v] = 0
@@ -113,30 +127,40 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 				}
 				contrib[v] = rank[v] / float64(outDeg[v])
 			}
-			addFloat64(&danglingBits, local)
+			*dr.At(chunk) = local
 			w.Cycles(float64(hi-lo) * 4)
 			w.Bytes(float64(hi-lo) * 24)
 		})
-		dangling := math.Float64frombits(atomic.LoadUint64(&danglingBits))
+		dangling := parallel.SumFloat64(dr)
 		base := (1-opts.Damping)*inv + opts.Damping*dangling*inv
 
-		inst.gatherSweep(nil, func(e shardEdge) {
-			addFloat64(&acc[e.dst], contrib[e.src])
+		inst.gatherSweep(nil, func(s int, e shardEdge) {
+			acc[inst.slot(e.dst, s)] += contrib[e.src]
 		})
-		inst.syncGhosts()
 
-		var l1Bits uint64
-		inst.m.ParallelFor(n, 2048, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+		// Ghost sync + apply: fold replica partial sums in shard
+		// order, then commit the new rank and the L1 delta.
+		lr := parallel.NewReducer[float64](parallel.NumChunks(n, 2048))
+		inst.m.ParallelForChunks(n, 2048, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			local := 0.0
+			var reps int64
 			for v := lo; v < hi; v++ {
-				nv := base + opts.Damping*math.Float64frombits(acc[v])
+				sum := 0.0
+				slo, shi := inst.slotRange(graph.VID(v))
+				reps += shi - slo
+				for i := slo; i < shi; i++ {
+					sum += acc[i]
+					acc[i] = 0
+				}
+				nv := base + opts.Damping*sum
 				local += math.Abs(nv - rank[v])
 				rank[v] = nv
 			}
-			addFloat64(&l1Bits, local)
+			*lr.At(chunk) = local
+			w.Charge(costSyncReplica.Scale(float64(reps)))
 			w.Charge(costApplyVertex.Scale(float64(hi - lo)))
 		})
-		l1 := math.Float64frombits(atomic.LoadUint64(&l1Bits))
+		l1 := parallel.SumFloat64(lr)
 		res.Iterations = iter
 		if l1 < opts.Epsilon {
 			break
@@ -144,16 +168,6 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 	}
 	res.Rank = rank
 	return res, nil
-}
-
-func addFloat64(bits *uint64, delta float64) {
-	for {
-		old := atomic.LoadUint64(bits)
-		nv := math.Float64bits(math.Float64frombits(old) + delta)
-		if atomic.CompareAndSwapUint64(bits, old, nv) {
-			return
-		}
-	}
 }
 
 // CDLP implements engines.Instance: the gather phase accumulates a
@@ -299,36 +313,57 @@ func (inst *Instance) neighborhood(v graph.VID) []graph.VID {
 }
 
 // WCC implements engines.Instance: min-label GAS supersteps over both
-// edge directions until quiescent.
+// edge directions until quiescent, with the min flowing through
+// shard-local replica slots and the ghost-sync combine (labels are
+// read from the previous superstep only — synchronous and
+// deterministic).
 func (inst *Instance) WCC() (*engines.WCCResult, error) {
 	n := inst.n
 	comp := make([]uint32, n)
 	for i := range comp {
 		comp[i] = uint32(i)
 	}
+	const noLabel = ^uint32(0)
+	accC := make([]uint32, inst.totalRep)
+	for i := range accC {
+		accC[i] = noLabel
+	}
 	for {
-		improved := make([]int32, n)
 		// Full gather each superstep: min must flow across an edge
 		// whenever either endpoint changed, so the sweep processes
-		// every local edge (PowerGraph's dense-gather mode).
-		inst.gatherSweep(nil, func(e shardEdge) {
-			// Weak connectivity: propagate min both ways.
-			propagateMin(comp, improved, e.src, e.dst)
-			propagateMin(comp, improved, e.dst, e.src)
+		// every local edge (PowerGraph's dense-gather mode). Weak
+		// connectivity: propagate min both ways.
+		inst.gatherSweep(nil, func(s int, e shardEdge) {
+			if c := comp[e.src]; c < accC[inst.slot(e.dst, s)] {
+				accC[inst.slot(e.dst, s)] = c
+			}
+			if c := comp[e.dst]; c < accC[inst.slot(e.src, s)] {
+				accC[inst.slot(e.src, s)] = c
+			}
 		})
-		inst.syncGhosts()
-		var any int64
-		inst.m.ParallelFor(n, 2048, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
-			var applied int64
+		anyc := parallel.NewCounter(inst.m.Workers())
+		inst.m.ParallelForChunks(n, 2048, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+			var applied, reps int64
 			for v := lo; v < hi; v++ {
-				if improved[v] != 0 {
+				best := noLabel
+				slo, shi := inst.slotRange(graph.VID(v))
+				reps += shi - slo
+				for i := slo; i < shi; i++ {
+					if accC[i] < best {
+						best = accC[i]
+					}
+					accC[i] = noLabel
+				}
+				if best < comp[v] {
+					comp[v] = best
 					applied++
-					atomic.AddInt64(&any, 1)
 				}
 			}
+			anyc.Add(worker, applied)
+			w.Charge(costSyncReplica.Scale(float64(reps)))
 			w.Charge(costApplyVertex.Scale(float64(applied)))
 		})
-		if any == 0 {
+		if anyc.Sum() == 0 {
 			break
 		}
 	}
@@ -337,19 +372,4 @@ func (inst *Instance) WCC() (*engines.WCCResult, error) {
 		res.Component[v] = graph.VID(comp[v])
 	}
 	return res, nil
-}
-
-// propagateMin lowers comp[to] to comp[from] if smaller.
-func propagateMin(comp []uint32, improved []int32, from, to graph.VID) {
-	c := atomic.LoadUint32(&comp[from])
-	for {
-		old := atomic.LoadUint32(&comp[to])
-		if old <= c {
-			return
-		}
-		if atomic.CompareAndSwapUint32(&comp[to], old, c) {
-			atomic.StoreInt32(&improved[to], 1)
-			return
-		}
-	}
 }

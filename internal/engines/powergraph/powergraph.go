@@ -83,6 +83,7 @@ type Instance struct {
 	shards   [][]shardEdge
 	replicas []uint64 // per-vertex shard mask
 	totalRep int64    // sum of popcounts: ghost sync volume
+	slotOff  []int64  // per-vertex replica-slot prefix (see accum.go)
 
 	// Homogenized adjacency retained for apply-side degree lookups
 	// and the neighborhood kernels (CDLP/LCC).
@@ -165,6 +166,7 @@ func (e *Engine) Load(el *graph.EdgeList, m *simmachine.Machine) (engines.Instan
 	for _, mask := range inst.replicas {
 		inst.totalRep += int64(bits.OnesCount64(mask))
 	}
+	inst.buildSlots()
 
 	m.FileRead(int64(len(el.Edges))*16, true)
 	m.ParallelFor(int(out.NumEdges()), 2048, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
@@ -202,10 +204,15 @@ func (inst *Instance) syncGhosts() {
 }
 
 // gatherSweep runs one GAS gather phase: every shard scans its local
-// edges; body is invoked for edges whose source is active. The scan
-// cost covers the engine's per-edge dispatch even for inactive edges.
-func (inst *Instance) gatherSweep(active []bool, body func(e shardEdge)) {
+// edges; body is invoked with the shard ID for edges whose source is
+// active, and accumulates into that shard's replica slots (shard-local
+// writes: no atomics, see accum.go). The scan cost covers the engine's
+// per-edge dispatch even for inactive edges. It returns the processed
+// edge count (deterministic: the active set is fixed before the
+// sweep).
+func (inst *Instance) gatherSweep(active []bool, body func(s int, e shardEdge)) int64 {
 	shards := inst.shards
+	processedBy := make([]int64, len(shards))
 	inst.m.ForEachThread(func(tid int, w *simmachine.W) {
 		if tid >= len(shards) {
 			return
@@ -215,12 +222,18 @@ func (inst *Instance) gatherSweep(active []bool, body func(e shardEdge)) {
 			scanned++
 			if active == nil || active[e.src] {
 				processed++
-				body(e)
+				body(tid, e)
 			}
 		}
+		processedBy[tid] = processed
 		w.Charge(costScanEdge.Scale(float64(scanned)))
 		w.Charge(costGatherEdge.Scale(float64(processed)))
 	})
+	var total int64
+	for _, p := range processedBy {
+		total += p
+	}
+	return total
 }
 
 // BFS implements engines.Instance: PowerGraph ships no BFS reference.

@@ -110,6 +110,9 @@ func (r *Runner) runEngine(spec core.Spec, el *graph.EdgeList, name string, root
 		return nil, err
 	}
 	m := simmachine.New(r.Model, spec.Threads)
+	if spec.Workers > 0 {
+		m.SetWorkers(spec.Workers)
+	}
 
 	var fileReadSec, constructionSec float64
 	if eng.SeparateConstruction() {

@@ -1,0 +1,62 @@
+package parallel
+
+import (
+	"cmp"
+	"slices"
+	"sync/atomic"
+)
+
+// Queue is an atomic frontier queue: a bounded bag that many workers
+// push into concurrently with one fetch-and-add per batch, replacing
+// the mutex-guarded append the engines used before. Membership is
+// schedule-independent whenever the *set* of pushed items is (e.g.
+// first-claim BFS discovery); the order of items is not — callers that
+// need a canonical order sort the slice (SortedQueueSlice) before
+// using it to derive chunk boundaries or outputs.
+type Queue[T any] struct {
+	buf []T
+	n   atomic.Int64
+}
+
+// NewQueue returns a queue that can hold up to capacity items between
+// resets. Pushing beyond capacity panics (frontiers are bounded by the
+// vertex count, which callers know).
+func NewQueue[T any](capacity int) *Queue[T] {
+	return &Queue[T]{buf: make([]T, capacity)}
+}
+
+// Push appends one item.
+func (q *Queue[T]) Push(v T) {
+	i := q.n.Add(1) - 1
+	q.buf[i] = v
+}
+
+// PushBatch appends items with a single reservation — the fast path
+// for per-chunk local buffers.
+func (q *Queue[T]) PushBatch(items []T) {
+	if len(items) == 0 {
+		return
+	}
+	end := q.n.Add(int64(len(items)))
+	copy(q.buf[end-int64(len(items)):end], items)
+}
+
+// Len returns the current item count. Call only between regions.
+func (q *Queue[T]) Len() int { return int(q.n.Load()) }
+
+// Slice returns the pushed items in arrival order (racy order; see
+// type comment). The slice aliases the queue's buffer and is
+// invalidated by Reset.
+func (q *Queue[T]) Slice() []T { return q.buf[:q.n.Load()] }
+
+// Reset empties the queue, retaining capacity.
+func (q *Queue[T]) Reset() { q.n.Store(0) }
+
+// SortedQueueSlice sorts the queue's contents in place and returns
+// them: the canonical, schedule-independent form of a frontier whose
+// membership is deterministic.
+func SortedQueueSlice[T cmp.Ordered](q *Queue[T]) []T {
+	s := q.Slice()
+	slices.Sort(s)
+	return s
+}

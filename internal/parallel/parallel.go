@@ -1,0 +1,218 @@
+// Package parallel is the shared parallel-primitives runtime that all
+// five engine analogues execute on: a reusable worker pool, a chunked
+// ParallelFor with the simmachine's two scheduling policies (static
+// round-robin and dynamic work stealing off a shared counter),
+// deterministic reducers, and an atomic frontier queue.
+//
+// Determinism contract. Everything in this package separates *real
+// execution schedule* (which goroutine runs which chunk, decided by
+// the OS) from *logical schedule* (how chunk indices map to results).
+// Kernel outputs and simmachine cost accounting key off chunk indices
+// only, so results and modeled durations are identical across runs and
+// across real worker counts. Floating-point reductions use per-chunk
+// slots folded in chunk order (Reducer); racy helpers whose results
+// are order-independent (WriteMinInt64, Counter sums, Queue membership)
+// are safe because min and integer addition are commutative and the
+// queue's contents are canonicalized by the caller (sorted frontiers).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sched selects how chunk indices are assigned to workers. The values
+// mirror simmachine.Sched so engines can use one policy for both real
+// execution and virtual-lane accounting.
+type Sched int
+
+const (
+	// Static assigns chunk c to worker c % workers, OpenMP
+	// schedule(static, grain) style.
+	Static Sched = iota
+	// Dynamic hands each worker the next unclaimed chunk off a shared
+	// atomic counter, OpenMP schedule(dynamic, grain) style.
+	Dynamic
+)
+
+// task is one dispatch to a pooled worker goroutine.
+type task struct {
+	fn   func(worker int)
+	id   int
+	done *sync.WaitGroup
+}
+
+// pworker is a pooled goroutine parked on its own task channel.
+type pworker struct {
+	tasks chan task
+}
+
+func (w *pworker) loop(p *Pool) {
+	for t := range w.tasks {
+		t.fn(t.id)
+		parked := p.park(w)
+		t.done.Done()
+		if !parked {
+			// Idle set full: nobody holds a reference to this worker
+			// anymore, so exit instead of blocking on the channel
+			// forever (blocked goroutines are never collected).
+			return
+		}
+	}
+}
+
+// Pool is a reusable set of worker goroutines. Run borrows workers for
+// the duration of one parallel region and parks them again afterwards,
+// so hot kernels that issue thousands of small regions (one per BFS
+// level) do not pay a goroutine spawn per region.
+//
+// The zero Pool is not usable; call NewPool. A Pool never needs to be
+// closed: parked goroutines are bounded by its idle capacity and are
+// reused process-wide when obtained from Default.
+type Pool struct {
+	idle chan *pworker
+}
+
+// NewPool returns a pool that parks at most idleCap workers between
+// regions (more may run transiently; extras exit instead of parking).
+func NewPool(idleCap int) *Pool {
+	if idleCap < 1 {
+		idleCap = 1
+	}
+	return &Pool{idle: make(chan *pworker, idleCap)}
+}
+
+var (
+	defaultPool     *Pool
+	defaultPoolOnce sync.Once
+)
+
+// Default returns the process-wide shared pool. Its idle capacity
+// scales with GOMAXPROCS but admits oversubscribed regions (worker
+// counts above the core count are legal and used by the determinism
+// tests).
+func Default() *Pool {
+	defaultPoolOnce.Do(func() {
+		c := 4 * runtime.GOMAXPROCS(0)
+		if c < 16 {
+			c = 16
+		}
+		defaultPool = NewPool(c)
+	})
+	return defaultPool
+}
+
+// park returns a worker to the idle set; if the set is full the worker
+// exits (its channel is closed by dropping the only reference — the
+// goroutine ends when loop returns).
+func (p *Pool) park(w *pworker) bool {
+	select {
+	case p.idle <- w:
+		return true
+	default:
+		return false
+	}
+}
+
+func (w *pworker) run(t task) bool {
+	select {
+	case w.tasks <- t:
+		return true
+	default:
+		return false
+	}
+}
+
+// Run executes fn(workerID) for worker IDs 0..workers-1 concurrently
+// and returns when all have finished. The calling goroutine acts as
+// worker 0, so Run(1, fn) is a plain function call with no goroutines,
+// no channels, and no synchronization — the serial baseline really is
+// serial. fn must not call Run on the same pool (regions do not nest;
+// the engines' parallel regions never do).
+func (p *Pool) Run(workers int, fn func(worker int)) {
+	if workers <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	t := task{fn: fn, done: &wg}
+	for id := 1; id < workers; id++ {
+		t.id = id
+		select {
+		case w := <-p.idle:
+			if !w.run(t) {
+				// Cannot happen: parked workers have drained their
+				// channel. Kept as a safe fallback.
+				go func(t task) { t.fn(t.id); t.done.Done() }(t)
+			}
+		default:
+			w := &pworker{tasks: make(chan task, 1)}
+			w.run(t)
+			go w.loop(p)
+		}
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// NumChunks returns the chunk count ParallelFor uses for n items at
+// the given grain — the slot count for chunk-indexed reducers.
+func NumChunks(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	return (n + grain - 1) / grain
+}
+
+// For executes body over [0, n) in chunks of the given grain on up to
+// `workers` real workers from the pool. body receives the half-open
+// index range, the chunk index (stable across runs and worker counts),
+// and the real worker ID (for per-worker scratch; never use it to key
+// results that must be deterministic).
+func For(p *Pool, workers, n, grain int, sched Sched, body func(lo, hi, chunk, worker int)) {
+	nchunks := NumChunks(n, grain)
+	if nchunks == 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	runChunk := func(c, worker int) {
+		lo := c * grain
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		body(lo, hi, c, worker)
+	}
+	switch sched {
+	case Static:
+		p.Run(workers, func(worker int) {
+			for c := worker; c < nchunks; c += workers {
+				runChunk(c, worker)
+			}
+		})
+	default: // Dynamic
+		var next atomic.Int64
+		p.Run(workers, func(worker int) {
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nchunks {
+					return
+				}
+				runChunk(c, worker)
+			}
+		})
+	}
+}

@@ -1,0 +1,133 @@
+package parallel
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// cacheLine is the assumed false-sharing granularity for padded slots.
+const cacheLine = 64
+
+// Reducer accumulates one partial value per chunk and folds the slots
+// in chunk-index order, making floating-point reductions bit-identical
+// across runs and real worker counts (FP addition is not associative,
+// so per-worker accumulation under dynamic scheduling would not be).
+// Slots are cache-line padded so neighboring chunks never share a
+// line.
+type Reducer[T any] struct {
+	slots []paddedSlot[T]
+}
+
+type paddedSlot[T any] struct {
+	v T
+	_ [cacheLine]byte
+}
+
+// NewReducer returns a reducer with nslots zero-valued slots — one per
+// chunk, i.e. NumChunks(n, grain).
+func NewReducer[T any](nslots int) *Reducer[T] {
+	return &Reducer[T]{slots: make([]paddedSlot[T], nslots)}
+}
+
+// At returns the slot for chunk c. Each chunk must only touch its own
+// slot; no synchronization is needed or performed.
+func (r *Reducer[T]) At(c int) *T { return &r.slots[c].v }
+
+// Fold combines all slots in chunk order starting from init.
+func (r *Reducer[T]) Fold(init T, combine func(acc, v T) T) T {
+	acc := init
+	for i := range r.slots {
+		acc = combine(acc, r.slots[i].v)
+	}
+	return acc
+}
+
+// SumFloat64 folds float64 slots in chunk order.
+func SumFloat64(r *Reducer[float64]) float64 {
+	return r.Fold(0, func(a, v float64) float64 { return a + v })
+}
+
+// Counter is a set of cache-line padded int64 cells, one per worker,
+// for high-frequency counters (edges examined, relaxations) that would
+// otherwise contend on a single atomic. Integer addition is
+// commutative, so the sum is deterministic even though the per-worker
+// split is not.
+type Counter struct {
+	cells []paddedInt64
+}
+
+type paddedInt64 struct {
+	v int64
+	_ [cacheLine - 8]byte
+}
+
+// NewCounter returns a counter with one cell per worker.
+func NewCounter(workers int) *Counter {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Counter{cells: make([]paddedInt64, workers)}
+}
+
+// Add accumulates delta into the worker's cell (no atomics: each
+// worker owns its cell).
+func (c *Counter) Add(worker int, delta int64) { c.cells[worker].v += delta }
+
+// Sum returns the total across cells. Call only after the region has
+// completed.
+func (c *Counter) Sum() int64 {
+	var s int64
+	for i := range c.cells {
+		s += c.cells[i].v
+	}
+	return s
+}
+
+// WriteMinInt64 atomically lowers *addr to v, treating the sentinel
+// `empty` as larger than everything. It returns true when this call
+// performed the first write (i.e. *addr was empty), which happens for
+// exactly one caller per address. The final value is the minimum over
+// all concurrently written values — a commutative reduction, so it is
+// schedule-independent (the priority-write of Dhulipala, Blelloch &
+// Shun; GraphMat's REDUCE uses the same min-parent rule).
+func WriteMinInt64(addr *int64, v, empty int64) (first bool) {
+	for {
+		old := atomic.LoadInt64(addr)
+		if old != empty && old <= v {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(addr, old, v) {
+			return old == empty
+		}
+	}
+}
+
+// WriteMinUint32 atomically lowers *addr to v. Returns true if the
+// value was lowered by this call.
+func WriteMinUint32(addr *uint32, v uint32) bool {
+	for {
+		old := atomic.LoadUint32(addr)
+		if old <= v {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(addr, old, v) {
+			return true
+		}
+	}
+}
+
+// WriteMinFloat64Bits atomically lowers the float64 stored as bits at
+// addr to v. Returns true if the value was strictly lowered by this
+// call. Only the final value (a min, hence schedule-independent) may
+// be used for deterministic outputs; the win report is racy.
+func WriteMinFloat64Bits(addr *uint64, v float64) bool {
+	for {
+		old := atomic.LoadUint64(addr)
+		if math.Float64frombits(old) <= v {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, old, math.Float64bits(v)) {
+			return true
+		}
+	}
+}

@@ -2,8 +2,8 @@ package simmachine
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"github.com/hpcl-repro/epg/internal/parallel"
 )
 
 // Cost is abstract work charged by an engine: scalar cycles executed,
@@ -81,6 +81,7 @@ type Machine struct {
 	threads int
 	// real concurrency bound for executing bodies
 	workers int
+	pool    *parallel.Pool
 
 	elapsed float64
 	trace   []Region
@@ -90,6 +91,8 @@ type Machine struct {
 // New returns a machine with the given model and virtual thread count.
 // Thread counts beyond the model's hardware limit are allowed (the
 // paper's 72-thread runs equal the limit) but see Model.MaxThreads.
+// Region bodies execute on the shared parallel.Default pool with
+// min(threads, GOMAXPROCS) real workers; SetWorkers overrides that.
 func New(model Model, threads int) *Machine {
 	if threads < 1 {
 		threads = 1
@@ -98,11 +101,28 @@ func New(model Model, threads int) *Machine {
 	if threads < w {
 		w = threads
 	}
-	return &Machine{model: model, threads: threads, workers: w, tracing: true}
+	return &Machine{
+		model: model, threads: threads, workers: w,
+		pool: parallel.Default(), tracing: true,
+	}
 }
 
 // Threads returns the virtual thread count.
 func (m *Machine) Threads() int { return m.threads }
+
+// Workers returns the real worker count used to execute region bodies.
+func (m *Machine) Workers() int { return m.workers }
+
+// SetWorkers overrides the real worker count (default
+// min(threads, GOMAXPROCS)). Counts above GOMAXPROCS are legal —
+// goroutines are multiplexed — and must not change results or modeled
+// durations; the determinism tests rely on that.
+func (m *Machine) SetWorkers(k int) {
+	if k < 1 {
+		k = 1
+	}
+	m.workers = k
+}
 
 // Model returns the machine's cost model.
 func (m *Machine) Model() Model { return m.model }
@@ -179,78 +199,62 @@ func (m *Machine) Sleep(seconds float64) {
 	m.record(Region{Seconds: seconds, Lanes: 0, ActiveLanes: 0})
 }
 
+// execSched maps the accounting policy onto the runtime's execution
+// policy: the real schedule mirrors the modeled one (static chunks are
+// strided round-robin, dynamic chunks come off a shared counter), but
+// nothing observable depends on the real assignment.
+func execSched(s Sched) parallel.Sched {
+	if s == Static {
+		return parallel.Static
+	}
+	return parallel.Dynamic
+}
+
 // ParallelFor executes body over [0, n) in chunks of the given grain,
-// runs the chunks concurrently (bounded by real CPUs), and charges the
+// runs the chunks concurrently on the worker pool, and charges the
 // region to the virtual machine under the chosen scheduling policy.
 // Chunk boundaries and cost accounting are independent of the real
 // execution schedule.
 func (m *Machine) ParallelFor(n, grain int, sched Sched, body func(lo, hi int, w *W)) {
+	m.ParallelForChunks(n, grain, sched, func(lo, hi, chunk, worker int, w *W) {
+		body(lo, hi, w)
+	})
+}
+
+// ParallelForChunks is ParallelFor with the chunk index and real
+// worker ID exposed. The chunk index is stable across runs and worker
+// counts — key deterministic reductions (parallel.Reducer slots) off
+// it. The worker ID is only stable within one region — use it solely
+// for contention-free scratch (parallel.Counter cells).
+func (m *Machine) ParallelForChunks(n, grain int, sched Sched, body func(lo, hi, chunk, worker int, w *W)) {
 	if n <= 0 {
 		return
 	}
 	if grain < 1 {
 		grain = 1
 	}
-	nchunks := (n + grain - 1) / grain
-	costs := make([]Cost, nchunks)
-
-	var next int64
-	var wg sync.WaitGroup
-	workers := m.workers
-	if workers > nchunks {
-		workers = nchunks
-	}
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				c := int(atomic.AddInt64(&next, 1)) - 1
-				if c >= nchunks {
-					return
-				}
-				lo := c * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				var w W
-				body(lo, hi, &w)
-				costs[c] = w.c
-			}
-		}()
-	}
-	wg.Wait()
+	costs := make([]Cost, parallel.NumChunks(n, grain))
+	parallel.For(m.pool, m.workers, n, grain, execSched(sched), func(lo, hi, chunk, worker int) {
+		var w W
+		body(lo, hi, chunk, worker, &w)
+		costs[chunk] = w.c
+	})
 	m.commitRegion(costs, sched)
 }
 
 // ForEachThread runs one body per virtual thread, passing the thread
 // ID in [0, Threads()). It models OpenMP parallel regions where each
 // thread owns local state (e.g., per-thread frontier queues). Bodies
-// execute concurrently, bounded by the real CPU count; each body's
-// cost is charged to its own lane.
+// execute concurrently on the worker pool; each body's cost is charged
+// to its own lane.
 func (m *Machine) ForEachThread(body func(tid int, w *W)) {
 	t := m.threads
 	costs := make([]Cost, t)
-	var next int64
-	var wg sync.WaitGroup
-	workers := m.workers
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				tid := int(atomic.AddInt64(&next, 1)) - 1
-				if tid >= t {
-					return
-				}
-				var w W
-				body(tid, &w)
-				costs[tid] = w.c
-			}
-		}()
-	}
-	wg.Wait()
+	parallel.For(m.pool, m.workers, t, 1, parallel.Dynamic, func(lo, hi, chunk, worker int) {
+		var w W
+		body(lo, &w)
+		costs[lo] = w.c
+	})
 	// One chunk per lane: identity schedule either way.
 	m.commitLanes(costs)
 }
