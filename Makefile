@@ -27,5 +27,8 @@ bench:
 baseline:
 	EPG_WRITE_BASELINE=1 $(GO) test -run TestWriteBenchBaseline -v .
 
+big-conformance:
+	EPG_BIG_CONFORMANCE=1 $(GO) test -run TestBigConformance -v -timeout 60m ./internal/engines/all/
+
 vet:
 	$(GO) vet ./...

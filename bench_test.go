@@ -443,7 +443,46 @@ func speedupInstance(b testing.TB, el *graph.EdgeList, workers int) (*gap.Instan
 	return inst.(*gap.Instance), roots[0]
 }
 
+// benchBaseline mirrors the JSON layout TestWriteBenchBaseline
+// writes. NumCPU distinguishes hosts whose GOMAXPROCS was capped.
+type benchBaseline struct {
+	Dataset    string `json:"dataset"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+}
+
+// warnBaselineHostMismatch compares the committed BENCH_baseline.json
+// host against this one and warns when wall-clock numbers are not
+// comparable (the original committed baseline was recorded on a
+// 1-core container). It never fails the run: a mismatch means
+// "regenerate before comparing", not "broken".
+func warnBaselineHostMismatch(tb testing.TB) {
+	data, err := os.ReadFile("BENCH_baseline.json")
+	if err != nil {
+		return // no baseline committed: nothing to compare against
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		tb.Logf("WARNING: BENCH_baseline.json unreadable: %v", err)
+		return
+	}
+	if base.GOMAXPROCS != runtime.GOMAXPROCS(0) || (base.NumCPU != 0 && base.NumCPU != runtime.NumCPU()) {
+		tb.Logf("WARNING: BENCH_baseline.json was recorded with GOMAXPROCS=%d NumCPU=%d; "+
+			"this host has GOMAXPROCS=%d NumCPU=%d — wall-clock comparisons are not "+
+			"apples-to-apples, run `make baseline` here first",
+			base.GOMAXPROCS, base.NumCPU, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	}
+}
+
+// TestBaselineHostComparable surfaces the core-count warning on every
+// plain `go test` run, so a stale baseline is noticed before anyone
+// diffs speedups against it.
+func TestBaselineHostComparable(t *testing.T) {
+	warnBaselineHostMismatch(t)
+}
+
 func BenchmarkParallelRuntime(b *testing.B) {
+	warnBaselineHostMismatch(b)
 	el := speedupGraph(b)
 	for _, workers := range speedupWorkerCounts {
 		inst, root := speedupInstance(b, el, workers)
@@ -483,6 +522,7 @@ func TestWriteBenchBaseline(t *testing.T) {
 		Engine     string             `json:"engine"`
 		Threads    int                `json:"threads"`
 		GOMAXPROCS int                `json:"gomaxprocs"`
+		NumCPU     int                `json:"numcpu"`
 		Reps       int                `json:"reps"`
 		Results    []entry            `json:"results"`
 		Speedup4W  map[string]float64 `json:"speedup_4w_vs_1w"`
@@ -491,6 +531,7 @@ func TestWriteBenchBaseline(t *testing.T) {
 		Engine:     "GAP",
 		Threads:    32,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Reps:       3,
 		Speedup4W:  map[string]float64{},
 	}

@@ -143,6 +143,8 @@ func cmdRun(args []string) error {
 	measurePower := fs.Bool("power", false, "meter power per root (Table III, Fig. 9)")
 	divisor := fs.Int("divisor", 64, "real-world dataset scale divisor")
 	seed := fs.Uint64("seed", 1, "seed")
+	sched := fs.String("sched", "", "force a scheduling policy on every region (static, dynamic, steal)")
+	syncSSSP := fs.Bool("sync-sssp", false, "synchronous deterministic SSSP in GAP and GraphBIG")
 	fs.Parse(args)
 
 	s := newSuite(*divisor, *seed)
@@ -157,6 +159,8 @@ func cmdRun(args []string) error {
 		Roots:        *roots,
 		Seed:         *seed,
 		MeasurePower: *measurePower,
+		Sched:        *sched,
+		SyncSSSP:     *syncSSSP,
 	}
 	if *enginesFlag != "" {
 		spec.Engines = strings.Split(*enginesFlag, ",")

@@ -54,8 +54,19 @@ const (
 )
 
 // Spec describes one experiment (dataset, algorithm, engines,
-// threads, roots).
+// threads, roots, scheduling policy).
 type Spec = core.Spec
+
+// Scheduling policies for Spec.Sched. SchedAuto (the default) keeps
+// each engine's own per-region policy — the paper's configuration;
+// the others force one policy onto every parallel region, changing
+// both real execution and the modeled virtual-lane accounting.
+const (
+	SchedAuto    = core.SchedAuto
+	SchedStatic  = core.SchedStatic
+	SchedDynamic = core.SchedDynamic
+	SchedSteal   = core.SchedSteal
+)
 
 // Result is one measured run with its phase breakdown.
 type Result = core.Result

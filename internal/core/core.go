@@ -56,7 +56,34 @@ type Spec struct {
 	Seed uint64
 	// MeasurePower enables RAPL-style metering per root.
 	MeasurePower bool
+	// Sched overrides the scheduling policy of every parallel region
+	// (SchedStatic, SchedDynamic, or SchedSteal). Empty (SchedAuto)
+	// keeps each engine's own per-region choice — the paper's
+	// configuration, where e.g. Graph500 is static and GAP dynamic.
+	// The override changes both the real chunk assignment and the
+	// modeled virtual-lane accounting.
+	Sched string
+	// SyncSSSP switches GAP's delta-stepping and GraphBIG's
+	// relaxation to their synchronous bucket/round-barrier modes,
+	// making their parents, relaxation counts, and modeled durations
+	// schedule-independent (the determinism wall). Engines whose SSSP
+	// is already synchronous (GraphMat, PowerGraph) ignore it.
+	SyncSSSP bool
 }
+
+// Scheduling policy names for Spec.Sched.
+const (
+	// SchedAuto keeps each engine's own per-region policy.
+	SchedAuto = ""
+	// SchedStatic forces OpenMP schedule(static)-style round-robin.
+	SchedStatic = "static"
+	// SchedDynamic forces chunks off a shared counter
+	// (schedule(dynamic)).
+	SchedDynamic = "dynamic"
+	// SchedSteal forces the work-stealing scheduler (per-worker
+	// Chase–Lev deques with randomized victim selection).
+	SchedSteal = "steal"
+)
 
 // NumRoots returns the effective root count.
 func (s Spec) NumRoots() int {
@@ -76,6 +103,12 @@ func (s Spec) Validate() error {
 	}
 	if s.Threads < 1 {
 		return fmt.Errorf("core: spec needs threads >= 1, got %d", s.Threads)
+	}
+	switch s.Sched {
+	case SchedAuto, SchedStatic, SchedDynamic, SchedSteal:
+	default:
+		return fmt.Errorf("core: unknown scheduling policy %q (want %q, %q or %q)",
+			s.Sched, SchedStatic, SchedDynamic, SchedSteal)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"testing"
 
 	"github.com/hpcl-repro/epg/internal/datasets"
@@ -62,21 +63,7 @@ func newMachine() *simmachine.Machine {
 // loadAll returns one prepared instance per engine for the graph.
 func loadAll(t *testing.T, el *graph.EdgeList) map[string]engines.Instance {
 	t.Helper()
-	out := make(map[string]engines.Instance)
-	reg := Registry()
-	for _, name := range Names {
-		eng, err := reg.New(name)
-		if err != nil {
-			t.Fatalf("new %s: %v", name, err)
-		}
-		inst, err := eng.Load(el, newMachine())
-		if err != nil {
-			t.Fatalf("%s load: %v", name, err)
-		}
-		inst.BuildStructure()
-		out[name] = inst
-	}
-	return out
+	return loadAllWith(t, el, nil, false)
 }
 
 func roots(p *verify.Prepared, count int) []graph.VID {
@@ -549,6 +536,182 @@ func forEachPair[R any](got map[string]R, f func(a, b string, ra, rb R)) {
 			}
 			f(a, b, ra, rb)
 		}
+	}
+}
+
+// loadAllWith is loadAll with a machine configurator applied before
+// Load (scheduling overrides, worker counts).
+func loadAllWith(t *testing.T, el *graph.EdgeList, configure func(*simmachine.Machine), syncSSSP bool) map[string]engines.Instance {
+	t.Helper()
+	out := make(map[string]engines.Instance)
+	reg := Registry()
+	for _, name := range Names {
+		eng, err := reg.New(name)
+		if err != nil {
+			t.Fatalf("new %s: %v", name, err)
+		}
+		if syncSSSP {
+			if s, ok := eng.(engines.SyncSSSPSetter); ok {
+				s.SetSyncSSSP(true)
+			}
+		}
+		m := newMachine()
+		if configure != nil {
+			configure(m)
+		}
+		inst, err := eng.Load(el, m)
+		if err != nil {
+			t.Fatalf("%s load: %v", name, err)
+		}
+		inst.BuildStructure()
+		out[name] = inst
+	}
+	return out
+}
+
+// conformAllKernels validates every engine's every supported kernel
+// against the serial references on one graph.
+func conformAllKernels(t *testing.T, el *graph.EdgeList, insts map[string]engines.Instance, nroots int, skipLCC bool) {
+	t.Helper()
+	p := verify.Prepare(el)
+	rs := roots(p, nroots)
+	if len(rs) == 0 {
+		t.Fatal("no usable roots")
+	}
+	for _, root := range rs {
+		ref := verify.BFS(p, root)
+		for name, inst := range insts {
+			got, err := inst.BFS(root)
+			if errors.Is(err, engines.ErrUnsupported) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s BFS: %v", name, err)
+			}
+			if err := verify.ValidateBFS(p, got, ref); err != nil {
+				t.Errorf("%s BFS root %d: %v", name, root, err)
+			}
+		}
+	}
+	if el.Weighted {
+		for _, root := range rs[:1] {
+			ref := verify.SSSP(p, root)
+			for name, inst := range insts {
+				got, err := inst.SSSP(root)
+				if errors.Is(err, engines.ErrUnsupported) {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("%s SSSP: %v", name, err)
+				}
+				if err := verify.ValidateSSSP(p, got, ref); err != nil {
+					t.Errorf("%s SSSP root %d: %v", name, root, err)
+				}
+			}
+		}
+	}
+	{
+		refPR := verify.PageRank(p, engines.PROpts{})
+		tolerances := map[string]float64{
+			GAP: 1e-6, PowerGraph: 1e-6, GraphBIG: 5e-3, GraphMat: 5e-3,
+		}
+		for name, inst := range insts {
+			got, err := inst.PageRank(engines.PROpts{})
+			if errors.Is(err, engines.ErrUnsupported) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s PR: %v", name, err)
+			}
+			if err := verify.ValidatePageRank(got, refPR, tolerances[name]); err != nil {
+				t.Errorf("%s PR: %v", name, err)
+			}
+		}
+	}
+	{
+		refCDLP := verify.CDLP(p, engines.DefaultCDLPIterations)
+		for name, inst := range insts {
+			got, err := inst.CDLP(engines.DefaultCDLPIterations)
+			if errors.Is(err, engines.ErrUnsupported) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s CDLP: %v", name, err)
+			}
+			if err := verify.ValidateCDLP(got, refCDLP); err != nil {
+				t.Errorf("%s CDLP: %v", name, err)
+			}
+		}
+	}
+	if !skipLCC {
+		refLCC := verify.LCC(p)
+		for name, inst := range insts {
+			got, err := inst.LCC()
+			if errors.Is(err, engines.ErrUnsupported) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s LCC: %v", name, err)
+			}
+			if err := verify.ValidateLCC(got, refLCC); err != nil {
+				t.Errorf("%s LCC: %v", name, err)
+			}
+		}
+	}
+	{
+		refWCC := verify.WCC(p)
+		for name, inst := range insts {
+			got, err := inst.WCC()
+			if errors.Is(err, engines.ErrUnsupported) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s WCC: %v", name, err)
+			}
+			if err := verify.ValidateWCC(got, refWCC); err != nil {
+				t.Errorf("%s WCC: %v", name, err)
+			}
+		}
+	}
+}
+
+// TestStealPolicyConformance runs every engine's every kernel under
+// the work-stealing scheduler override (and the synchronous SSSP
+// modes) and validates against the serial references: the new policy
+// must not change what any kernel computes.
+func TestStealPolicyConformance(t *testing.T) {
+	el := kronecker.Generate(kronecker.Params{Scale: 10, Seed: 42})
+	insts := loadAllWith(t, el, func(m *simmachine.Machine) {
+		m.SetSchedOverride(simmachine.Steal)
+		m.SetWorkers(4)
+	}, true)
+	conformAllKernels(t, el, insts, 2, false)
+}
+
+// TestBigConformance is the ROADMAP's scaled-up conformance wall: the
+// full kernel sweep on kron-18 (≈260k vertices, ≈4M directed edges),
+// too slow for every `go test` run, gated behind EPG_BIG_CONFORMANCE=1
+// (`make big-conformance`). LCC is skipped: the serial reference is
+// quadratic in hub degree, which is intractable at Kronecker scale 18.
+func TestBigConformance(t *testing.T) {
+	if os.Getenv("EPG_BIG_CONFORMANCE") == "" {
+		t.Skip("set EPG_BIG_CONFORMANCE=1 to run the kron-18 conformance sweep")
+	}
+	el := kronecker.Generate(kronecker.Params{Scale: 18, Seed: 1})
+	for _, cfg := range []struct {
+		name  string
+		sched simmachine.Sched
+	}{
+		{"dynamic", simmachine.Dynamic},
+		{"steal", simmachine.Steal},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			insts := loadAllWith(t, el, func(m *simmachine.Machine) {
+				m.SetSchedOverride(cfg.sched)
+				m.SetWorkers(4)
+			}, true)
+			conformAllKernels(t, el, insts, 1, true)
+		})
 	}
 }
 

@@ -8,9 +8,14 @@
 // Scope: BFS and PageRank are fully deterministic in every engine
 // (write-min claims, sorted frontiers, chunk-ordered reductions), as
 // are GraphMat's and PowerGraph's synchronous SSSP. GAP's
-// delta-stepping and GraphBIG's chaotic relaxation have
-// schedule-dependent work traces by design (as the real systems do);
-// for those only the fixed-point distances are bit-compared.
+// delta-stepping and GraphBIG's relaxation default to their chaotic
+// character (schedule-dependent work traces, as in the real systems)
+// — for the defaults only the fixed-point distances are bit-compared
+// — but their synchronous modes (Spec.SyncSSSP) join the full wall:
+// parents, relaxation counts, and durations included. The
+// work-stealing scheduler (Spec.Sched = "steal") is walled across all
+// six kernels: bit-identical outputs and modeled durations at every
+// worker count.
 package all
 
 import (
@@ -37,14 +42,34 @@ type kernelRun struct {
 	out       any
 }
 
+// runOpts tweaks a kernel run beyond the worker count.
+type runOpts struct {
+	syncSSSP bool             // enable the synchronous SSSP modes
+	sched    simmachine.Sched // machine-wide policy override
+	override bool             // apply sched
+}
+
 func runKernel(t *testing.T, name string, alg engines.Algorithm, el *graph.EdgeList, root graph.VID, workers int) kernelRun {
+	t.Helper()
+	return runKernelOpts(t, name, alg, el, root, workers, runOpts{})
+}
+
+func runKernelOpts(t *testing.T, name string, alg engines.Algorithm, el *graph.EdgeList, root graph.VID, workers int, opts runOpts) kernelRun {
 	t.Helper()
 	eng, err := Registry().New(name)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if opts.syncSSSP {
+		if s, ok := eng.(engines.SyncSSSPSetter); ok {
+			s.SetSyncSSSP(true)
+		}
+	}
 	m := simmachine.New(simmachine.Haswell72(), 8)
 	m.SetWorkers(workers)
+	if opts.override {
+		m.SetSchedOverride(opts.sched)
+	}
 	inst, err := eng.Load(el, m)
 	if err != nil {
 		t.Fatalf("%s load: %v", name, err)
@@ -217,5 +242,144 @@ func coreSpec(alg engines.Algorithm, workers int) core.Spec {
 		Workers:   workers,
 		Roots:     3,
 		Seed:      5,
+	}
+}
+
+func sameVIDs(t *testing.T, label string, a, b []graph.VID) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("%s: index %d: %d vs %d", label, i, a[i], b[i])
+			return
+		}
+	}
+}
+
+// sameOutputs bit-compares two kernel outputs of the same type.
+func sameOutputs(t *testing.T, label string, ref, got any) {
+	t.Helper()
+	switch r := ref.(type) {
+	case *engines.BFSResult:
+		g := got.(*engines.BFSResult)
+		sameInt64s(t, label+" parent", r.Parent, g.Parent)
+		sameInt64s(t, label+" depth", r.Depth, g.Depth)
+		if r.EdgesExamined != g.EdgesExamined {
+			t.Errorf("%s: edges examined %d vs %d", label, r.EdgesExamined, g.EdgesExamined)
+		}
+	case *engines.SSSPResult:
+		g := got.(*engines.SSSPResult)
+		sameFloat64sBitwise(t, label+" dist", r.Dist, g.Dist)
+		sameInt64s(t, label+" parent", r.Parent, g.Parent)
+		if r.Relaxations != g.Relaxations {
+			t.Errorf("%s: relaxations %d vs %d", label, r.Relaxations, g.Relaxations)
+		}
+	case *engines.PRResult:
+		g := got.(*engines.PRResult)
+		sameFloat64sBitwise(t, label+" rank", r.Rank, g.Rank)
+		if r.Iterations != g.Iterations {
+			t.Errorf("%s: iterations %d vs %d", label, r.Iterations, g.Iterations)
+		}
+	case *engines.CDLPResult:
+		g := got.(*engines.CDLPResult)
+		sameVIDs(t, label+" label", r.Label, g.Label)
+		if r.Iterations != g.Iterations {
+			t.Errorf("%s: iterations %d vs %d", label, r.Iterations, g.Iterations)
+		}
+	case *engines.LCCResult:
+		g := got.(*engines.LCCResult)
+		sameFloat64sBitwise(t, label+" coeff", r.Coeff, g.Coeff)
+	case *engines.WCCResult:
+		g := got.(*engines.WCCResult)
+		sameVIDs(t, label+" component", r.Component, g.Component)
+	default:
+		t.Fatalf("%s: unknown result type %T", label, ref)
+	}
+}
+
+// TestSyncSSSPJoinsDeterminismWall is the ROADMAP follow-up: with the
+// synchronous modes enabled, GAP's delta-stepping and GraphBIG's
+// relaxation are fully deterministic — distances, parents, relaxation
+// counts, AND modeled durations — across runs and worker counts.
+func TestSyncSSSPJoinsDeterminismWall(t *testing.T) {
+	el, root := determinismGraph()
+	opts := runOpts{syncSSSP: true}
+	for _, name := range []string{GAP, GraphBIG} {
+		t.Run(name, func(t *testing.T) {
+			base := runKernelOpts(t, name, engines.SSSP, el, root, workerCounts[0], opts)
+			for _, workers := range workerCounts {
+				for rep := 0; rep < 2; rep++ {
+					got := runKernelOpts(t, name, engines.SSSP, el, root, workers, opts)
+					sameOutputs(t, "sync sssp", base.out, got.out)
+					sameDurations(t, "sync sssp", base, got)
+				}
+			}
+		})
+	}
+}
+
+// TestSchedStealDeterministicAllKernels is the work-stealing wall:
+// under the Steal policy override (with synchronous SSSP, so every
+// engine qualifies) all six kernels produce bit-identical outputs and
+// modeled durations at 1/2/4 workers for every engine that implements
+// them.
+func TestSchedStealDeterministicAllKernels(t *testing.T) {
+	el, root := determinismGraph()
+	opts := runOpts{syncSSSP: true, sched: simmachine.Steal, override: true}
+	for _, alg := range engines.AllAlgorithms {
+		t.Run(string(alg), func(t *testing.T) {
+			for _, name := range Names {
+				eng, err := Registry().New(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !eng.Has(alg) {
+					continue
+				}
+				t.Run(name, func(t *testing.T) {
+					base := runKernelOpts(t, name, alg, el, root, workerCounts[0], opts)
+					for _, workers := range workerCounts {
+						got := runKernelOpts(t, name, alg, el, root, workers, opts)
+						sameOutputs(t, "steal", base.out, got.out)
+						sameDurations(t, "steal", base, got)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestSpecSchedKnobEndToEnd drives the harness with the new Spec
+// knobs: per-trial modeled measurements under Sched="steal" +
+// SyncSSSP must be identical across worker counts, and an unknown
+// policy must be rejected.
+func TestSpecSchedKnobEndToEnd(t *testing.T) {
+	el := kronecker.Generate(kronecker.Params{Scale: 9, Seed: 7})
+	r := harness.NewRunner(Registry())
+	run := func(workers int) []float64 {
+		spec := coreSpec(engines.SSSP, workers)
+		spec.Sched = core.SchedSteal
+		spec.SyncSSSP = true
+		rs, err := r.Run(spec, el)
+		if err != nil {
+			t.Fatal(err)
+		}
+		secs := make([]float64, len(rs))
+		for i, res := range rs {
+			secs[i] = res.AlgorithmSec
+		}
+		return secs
+	}
+	base := run(1)
+	for _, workers := range []int{2, 4} {
+		sameFloat64sBitwise(t, "steal spec seconds", base, run(workers))
+	}
+
+	bad := coreSpec(engines.BFS, 1)
+	bad.Sched = "fifo"
+	if _, err := r.Run(bad, el); err == nil {
+		t.Error("unknown scheduling policy accepted")
 	}
 }

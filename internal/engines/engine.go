@@ -150,6 +150,18 @@ type Engine interface {
 	Load(el *graph.EdgeList, m *simmachine.Machine) (Instance, error)
 }
 
+// SyncSSSPSetter is implemented by engines whose SSSP has an optional
+// synchronous mode (GAP's bucket-barrier delta-stepping, GraphBIG's
+// round-barrier relaxation). The synchronous mode makes parents,
+// relaxation counts, and modeled durations schedule-independent; the
+// default preserves the real systems' racy character. The harness
+// enables it from Spec.SyncSSSP. Instances read the flag live, so it
+// may be toggled before or after Load — it takes effect at the next
+// SSSP call.
+type SyncSSSPSetter interface {
+	SetSyncSSSP(on bool)
+}
+
 // ErrUnsupported is returned by instances for algorithms the engine
 // does not provide.
 var ErrUnsupported = fmt.Errorf("engines: algorithm not provided by this engine")

@@ -1,0 +1,32 @@
+// Package gap implements a Go analogue of the GAP Benchmark Suite
+// (Beamer, Asanović, Patterson), the best-performing system in the
+// paper's study.
+//
+// Architectural character preserved from the original:
+//
+//   - CSR storage with both out- and in-adjacency (the in-CSR enables
+//     pull-direction iteration);
+//   - a separately-timed graph construction phase (Fig. 2/3 report
+//     GAP's construction separately);
+//   - direction-optimizing BFS with the published α=15, β=18
+//     switching heuristics (the paper notes it uses these defaults
+//     untuned);
+//   - delta-stepping SSSP with a configurable Δ — chaotic CAS-racing
+//     relaxation by default, or a synchronous bucket-barrier variant
+//     (Engine.SyncSSSP) whose parents, relaxation counts, and modeled
+//     durations are schedule-independent;
+//   - pull-based PageRank in float64 with the homogenized L1 stopping
+//     criterion;
+//   - Shiloach-Vishkin style connected components (the suite's CC);
+//   - OpenMP-style dynamic scheduling with small grains.
+//
+// Known fidelity gaps: the real suite is C++ with OpenMP; here the
+// kernels run on the shared Go runtime (internal/parallel) and all
+// timing is charged to internal/simmachine's Haswell model rather
+// than measured. GAP's NUMA-aware first-touch placement and its
+// sliding-queue frontier are approximated by flat arrays plus the
+// shared atomic frontier queue, and the synchronous SSSP mode pays a
+// serial merge per bucket pass that the real suite does not have. The
+// suite's other kernels (BC, TC) exist only as the TriangleCount
+// extension.
+package gap

@@ -1,20 +1,3 @@
-// Package gap implements a Go analogue of the GAP Benchmark Suite
-// (Beamer, Asanović, Patterson), the best-performing system in the
-// paper's study.
-//
-// Architectural character preserved from the original:
-//
-//   - CSR storage with both out- and in-adjacency (the in-CSR enables
-//     pull-direction iteration);
-//   - a separately-timed graph construction phase (Fig. 2/3 report
-//     GAP's construction separately);
-//   - direction-optimizing BFS with the published α=15, β=18
-//     heuristics (the paper notes it uses these defaults untuned);
-//   - delta-stepping SSSP with a configurable Δ;
-//   - pull-based PageRank in float64 with the homogenized L1 stopping
-//     criterion;
-//   - Shiloach-Vishkin style connected components (the suite's CC);
-//   - OpenMP-style dynamic scheduling with small grains.
 package gap
 
 import (
@@ -54,7 +37,17 @@ type Engine struct {
 	Alpha int
 	Beta  int
 	Delta float64
+	// SyncSSSP selects the synchronous bucket-barrier delta-stepping
+	// variant: each relaxation pass gathers candidate updates against
+	// a distance snapshot and applies them in chunk order, so parents,
+	// relaxation counts, bucket composition, and modeled durations are
+	// schedule-independent. Off by default — the real suite's
+	// CAS-racing relaxation is part of its character.
+	SyncSSSP bool
 }
+
+// SetSyncSSSP implements engines.SyncSSSPSetter.
+func (e *Engine) SetSyncSSSP(on bool) { e.SyncSSSP = on }
 
 // New returns the engine with the paper's default parameterization.
 func New() *Engine {

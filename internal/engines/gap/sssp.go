@@ -22,6 +22,9 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 	if inst.out.Weights == nil {
 		return nil, engines.ErrUnsupported // unweighted input, as with cit-Patents in Table I
 	}
+	if inst.eng.SyncSSSP {
+		return inst.ssspSync(root)
+	}
 	n := inst.n
 	delta := inst.eng.Delta
 	if delta <= 0 {
@@ -88,7 +91,11 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 				var edges, wins int64
 				for _, v := range current[lo:hi] {
 					dv := loadDist(v)
-					if bucketOf(dv) != bi { // stale entry
+					// Skip only entries settled into a LATER bucket:
+					// an entry whose distance sits below bi (a heavy
+					// relaxation requeued to bi+1) still needs its
+					// light edges relaxed here.
+					if bucketOf(dv) > bi { // stale entry
 						continue
 					}
 					adj := inst.out.Neighbors(v)
@@ -102,7 +109,10 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 						nd := dv + wt
 						if casMin(u, nd, v) {
 							wins++
-							if b := bucketOf(nd); b == bi {
+							// b < bi (reachable only via a distance
+							// already below the bucket) keeps settling
+							// here — bucket b has already passed.
+							if b := bucketOf(nd); b <= bi {
 								localRe = append(localRe, u)
 							} else {
 								localLater = append(localLater, [2]int64{int64(b), int64(u)})

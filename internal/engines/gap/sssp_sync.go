@@ -1,0 +1,190 @@
+package gap
+
+import (
+	"math"
+	"sync/atomic"
+
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/parallel"
+	"github.com/hpcl-repro/epg/internal/simmachine"
+)
+
+// ssspCand is one candidate relaxation discovered during a gather
+// pass: "set dist[u] = nd with parent p".
+type ssspCand struct {
+	u  graph.VID
+	p  graph.VID
+	nd float64
+}
+
+// ssspSync is the synchronous bucket-barrier variant of delta-stepping
+// (Engine.SyncSSSP). The bucket structure is identical to the chaotic
+// version; what changes is the inner relaxation pass, which becomes a
+// gather/apply pair:
+//
+//   - gather: chunks of the current bucket relax their light edges
+//     against a *snapshot* of the distance array (no writes happen
+//     during the pass), collecting candidate updates per chunk;
+//   - apply: candidates are merged serially in chunk order — first
+//     strict improvement wins — updating distances, parents, and
+//     bucket membership.
+//
+// Because the candidate sets are a pure function of the pass-start
+// distances and the apply order is fixed, every observable — parents,
+// relaxation counts, bucket composition, and the modeled durations of
+// both the parallel gather and the serial merge — is independent of
+// the real goroutine schedule and worker count. This is the mode the
+// determinism wall runs. The price is the serial merge (a real
+// bucket-barrier, charged at single-thread speed), which the chaotic
+// default does not pay.
+func (inst *Instance) ssspSync(root graph.VID) (*engines.SSSPResult, error) {
+	n := inst.n
+	delta := inst.eng.Delta
+	if delta <= 0 {
+		delta = DefaultDelta
+	}
+
+	res := &engines.SSSPResult{
+		Root:   root,
+		Dist:   make([]float64, n),
+		Parent: make([]int64, n),
+	}
+	dist := res.Dist // plain float64: sync mode never writes concurrently
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		res.Parent[i] = engines.NoParent
+	}
+	dist[root] = 0
+	res.Parent[root] = int64(root)
+
+	var relaxed int64
+	buckets := [][]graph.VID{{root}}
+	// queued dedupes same-pass re-adds; stamped with the pass number.
+	queued := make([]int32, n)
+	pass := int32(0)
+
+	bucketOf := func(d float64) int { return int(d / delta) }
+	put := func(bkts [][]graph.VID, idx int, v graph.VID) [][]graph.VID {
+		for len(bkts) <= idx {
+			bkts = append(bkts, nil)
+		}
+		bkts[idx] = append(bkts[idx], v)
+		return bkts
+	}
+
+	// gather collects candidate relaxations of frontier's light
+	// (heavy=false) or heavy (heavy=true) edges against the current
+	// distance snapshot, one candidate list per chunk.
+	gather := func(frontier []graph.VID, bi int, heavy bool) [][]ssspCand {
+		cands := make([][]ssspCand, parallel.NumChunks(len(frontier), 32))
+		inst.m.ParallelForChunks(len(frontier), 32, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+			var local []ssspCand
+			var edges int64
+			for _, v := range frontier[lo:hi] {
+				dv := dist[v]
+				// Skip only entries settled into a LATER bucket. An
+				// entry whose distance sits in an earlier bucket (a
+				// heavy relaxation that landed at or below bi and was
+				// requeued to bi+1) must still relax its light edges
+				// here, or that work would be dropped forever.
+				if !heavy && bucketOf(dv) > bi {
+					continue
+				}
+				adj := inst.out.Neighbors(v)
+				ws := inst.out.NeighborWeights(v)
+				for i, u := range adj {
+					wt := float64(ws[i])
+					if (wt > delta) != heavy {
+						continue
+					}
+					edges++
+					nd := dv + wt
+					if nd < dist[u] {
+						local = append(local, ssspCand{u: u, p: v, nd: nd})
+					}
+				}
+			}
+			cands[chunk] = local
+			// Commutative sum of a deterministic edge set: the total
+			// is schedule-independent even though the adds race.
+			atomic.AddInt64(&relaxed, edges)
+			w.Charge(costRelax.Scale(float64(edges)))
+			w.Charge(costBucketOp.Scale(float64(len(local))))
+		})
+		return cands
+	}
+
+	for bi := 0; bi < len(buckets); bi++ {
+		current := buckets[bi]
+		buckets[bi] = nil
+		var heavyFrontier []graph.VID
+		for len(current) > 0 {
+			heavyFrontier = append(heavyFrontier, current...)
+			pass++
+			cands := gather(current, bi, false)
+			// Serial apply in chunk order: the bucket barrier.
+			var reAdd []graph.VID
+			inst.m.Serial(func(w *simmachine.W) {
+				var wins, ops int
+				for _, cs := range cands {
+					ops += len(cs)
+					for _, c := range cs {
+						if c.nd >= dist[c.u] {
+							continue // a chunk-earlier candidate won
+						}
+						dist[c.u] = c.nd
+						res.Parent[c.u] = int64(c.p)
+						wins++
+						// b < bi is only reachable from an entry whose
+						// distance already sat below the bucket; keep
+						// settling it here — bucket b has passed.
+						if b := bucketOf(c.nd); b <= bi {
+							if queued[c.u] != pass {
+								queued[c.u] = pass
+								reAdd = append(reAdd, c.u)
+							}
+						} else {
+							buckets = put(buckets, b, c.u)
+						}
+					}
+				}
+				w.Charge(costClaim.Scale(float64(wins)))
+				w.Charge(costBucketOp.Scale(float64(ops)))
+			})
+			current = reAdd
+		}
+		// One synchronous pass over the settled bucket's heavy edges.
+		if len(heavyFrontier) > 0 {
+			pass++
+			cands := gather(heavyFrontier, bi, true)
+			inst.m.Serial(func(w *simmachine.W) {
+				var wins, ops int
+				for _, cs := range cands {
+					ops += len(cs)
+					for _, c := range cs {
+						if c.nd >= dist[c.u] {
+							continue
+						}
+						dist[c.u] = c.nd
+						res.Parent[c.u] = int64(c.p)
+						wins++
+						if b := bucketOf(c.nd); b > bi {
+							buckets = put(buckets, b, c.u)
+						} else {
+							// Float rounding landed in the current bucket
+							// range; reprocess next bucket, as the chaotic
+							// variant does.
+							buckets = put(buckets, bi+1, c.u)
+						}
+					}
+				}
+				w.Charge(costClaim.Scale(float64(wins)))
+				w.Charge(costBucketOp.Scale(float64(ops)))
+			})
+		}
+	}
+
+	res.Relaxations = relaxed
+	return res, nil
+}

@@ -1,20 +1,3 @@
-// Package graph500 implements a Go analogue of the Graph500 OpenMP
-// reference implementation (version ~2.1.4, the one the paper forks).
-//
-// Architectural character preserved from the original:
-//
-//   - it is a BFS-only benchmark (Benchmark 1 "Search": Kernel 1
-//     builds a CSR from an unsorted edge list, Kernel 2 runs BFS);
-//   - the graph is constructed once and all roots run back-to-back
-//     with no file I/O in between (the paper notes this makes the
-//     Graph500 the most sensitive to CPU noise);
-//   - plain level-synchronous top-down BFS — no direction
-//     optimization — claiming children through CAS on an int64
-//     parent array (the reference stores 64-bit parents, paying more
-//     memory traffic than GAP's 32-bit structures);
-//   - OpenMP schedule(static)-style round-robin chunking, which on
-//     skewed Kronecker frontiers produces the load imbalance visible
-//     in the paper's efficiency plot (Fig. 6).
 package graph500
 
 import (

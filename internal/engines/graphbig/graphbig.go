@@ -1,20 +1,3 @@
-// Package graphbig implements a Go analogue of GraphBIG (Nai et al.,
-// SC'15), IBM System G's benchmark suite.
-//
-// Architectural character preserved from the original:
-//
-//   - a property-graph layout: per-vertex objects own their adjacency
-//     lists (slice-of-slices here, matching the pointer-chasing and
-//     allocation overhead of System G's vertex/edge property model);
-//   - the input file is read and the graph built simultaneously —
-//     there is no separately-timed construction phase, which is why
-//     Figs. 2 and 3 omit GraphBIG from the construction plots;
-//   - frontier-based kernels guard shared state with per-vertex
-//     atomics (System G uses fine-grained locks), making GraphBIG the
-//     most synchronization-heavy shared-memory system in the study;
-//   - PageRank computes in float32 (single-precision vertex
-//     properties), so the homogenized ε = 6e-8 L1 stop sits at the
-//     precision floor.
 package graphbig
 
 import (
@@ -43,10 +26,21 @@ var (
 )
 
 // Engine is the GraphBIG analogue.
-type Engine struct{}
+type Engine struct {
+	// SyncSSSP selects the synchronous round-barrier relaxation
+	// variant: each Bellman-Ford round gathers candidate updates
+	// against a distance snapshot and applies them in chunk order, so
+	// parents, relaxation counts, frontier composition, and modeled
+	// durations are schedule-independent. Off by default — System G's
+	// chaotic parallel relaxation is part of its character.
+	SyncSSSP bool
+}
 
 // New returns the engine.
 func New() *Engine { return &Engine{} }
+
+// SetSyncSSSP implements engines.SyncSSSPSetter.
+func (e *Engine) SetSyncSSSP(on bool) { e.SyncSSSP = on }
 
 // Name implements engines.Engine.
 func (e *Engine) Name() string { return "GraphBIG" }
@@ -75,6 +69,7 @@ type vertexProp struct {
 
 // Instance is a loaded GraphBIG property graph.
 type Instance struct {
+	eng      *Engine
 	m        *simmachine.Machine
 	vertices []vertexProp
 	directed bool
@@ -97,7 +92,7 @@ func (e *Engine) Load(el *graph.EdgeList, m *simmachine.Machine) (engines.Instan
 		Sort:          true,
 	})
 	n := csr.NumVertices
-	inst := &Instance{m: m, directed: el.Directed, weighted: el.Weighted, n: n}
+	inst := &Instance{eng: e, m: m, directed: el.Directed, weighted: el.Weighted, n: n}
 	inst.vertices = make([]vertexProp, n)
 	for v := 0; v < n; v++ {
 		inst.vertices[v].out = csr.Neighbors(graph.VID(v))
@@ -195,6 +190,9 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 	if !inst.weighted {
 		return nil, engines.ErrUnsupported
+	}
+	if inst.eng.SyncSSSP {
+		return inst.ssspSync(root)
 	}
 	n := inst.n
 	res := &engines.SSSPResult{

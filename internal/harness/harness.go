@@ -1,14 +1,3 @@
-// Package harness executes experiments: it resolves datasets, drives
-// every engine through the framework's phases (file read, structure
-// construction, algorithm runs over 32 roots), meters power on
-// request, and produces normalized result records.
-//
-// Timing follows the paper's methodology: the file read is never
-// mixed into an algorithm measurement; construction is measured
-// separately for the engines that expose it (GAP, Graph500,
-// GraphMat); each algorithm run is a separate measurement window.
-// Modeled machine time is the primary clock; wall-clock time of this
-// process is recorded alongside for transparency.
 package harness
 
 import (
@@ -109,9 +98,22 @@ func (r *Runner) runEngine(spec core.Spec, el *graph.EdgeList, name string, root
 	if err != nil {
 		return nil, err
 	}
+	if spec.SyncSSSP {
+		if s, ok := eng.(engines.SyncSSSPSetter); ok {
+			s.SetSyncSSSP(true)
+		}
+	}
 	m := simmachine.New(r.Model, spec.Threads)
 	if spec.Workers > 0 {
 		m.SetWorkers(spec.Workers)
+	}
+	switch spec.Sched {
+	case core.SchedStatic:
+		m.SetSchedOverride(simmachine.Static)
+	case core.SchedDynamic:
+		m.SetSchedOverride(simmachine.Dynamic)
+	case core.SchedSteal:
+		m.SetSchedOverride(simmachine.Steal)
 	}
 
 	var fileReadSec, constructionSec float64

@@ -1,0 +1,105 @@
+package parallel
+
+import "sync/atomic"
+
+// Deque is a fixed-capacity Chase–Lev work-stealing deque of int64
+// values (chunk indices, in this package's usage). One goroutine — the
+// owner — pushes and pops at the bottom; any number of thieves steal
+// from the top concurrently. The algorithm follows Chase & Lev,
+// "Dynamic Circular Work-Stealing Deque" (SPAA'05), in the fence
+// placement of Lê et al. (PPoPP'13); Go's sync/atomic operations are
+// sequentially consistent, which subsumes every fence that formulation
+// needs.
+//
+// The buffer never grows: capacity is fixed at construction and
+// PushBottom reports failure when full. The scheduler prefills each
+// worker's deque with its chunk assignment before the region starts,
+// which bounds occupancy at ceil(nchunks/workers), so growth is never
+// needed on the hot path.
+type Deque struct {
+	top atomic.Int64
+	// top and bottom live on separate cache lines: thieves hammer top
+	// with CAS while the owner updates bottom on every pop.
+	_      [56]byte
+	bottom atomic.Int64
+	_      [56]byte
+	mask   int64
+	buf    []int64
+}
+
+// NewDeque returns a deque holding at most capacity items (rounded up
+// to a power of two internally).
+func NewDeque(capacity int) *Deque {
+	size := int64(1)
+	for size < int64(capacity) {
+		size <<= 1
+	}
+	return &Deque{mask: size - 1, buf: make([]int64, size)}
+}
+
+// Len reports the number of items currently enqueued. It is a racy
+// snapshot, only meaningful as a heuristic.
+func (d *Deque) Len() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// PushBottom appends v at the owner end. Owner-only. It returns false
+// when the deque is full (the caller must drain before pushing more).
+func (d *Deque) PushBottom(v int64) bool {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b-t >= int64(len(d.buf)) {
+		return false
+	}
+	atomic.StoreInt64(&d.buf[b&d.mask], v)
+	d.bottom.Store(b + 1)
+	return true
+}
+
+// PopBottom removes and returns the most recently pushed item.
+// Owner-only. The second result is false when the deque is empty or
+// the last item was lost to a concurrent thief.
+func (d *Deque) PopBottom() (int64, bool) {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore the canonical empty state.
+		d.bottom.Store(t)
+		return 0, false
+	}
+	v := atomic.LoadInt64(&d.buf[b&d.mask])
+	if b > t {
+		return v, true
+	}
+	// Single item left: race the thieves for it via top.
+	won := d.top.CompareAndSwap(t, t+1)
+	d.bottom.Store(t + 1)
+	if !won {
+		return 0, false
+	}
+	return v, true
+}
+
+// Steal removes and returns the oldest item. Safe to call from any
+// goroutine. It returns false when the deque is observed empty; on a
+// lost race with the owner or another thief it retries internally, so
+// false really means "no work here right now".
+func (d *Deque) Steal() (int64, bool) {
+	for {
+		t := d.top.Load()
+		b := d.bottom.Load()
+		if t >= b {
+			return 0, false
+		}
+		v := atomic.LoadInt64(&d.buf[t&d.mask])
+		if d.top.CompareAndSwap(t, t+1) {
+			return v, true
+		}
+		// Lost to the owner or another thief; reobserve.
+	}
+}

@@ -1,0 +1,170 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDequeOwnerLIFO(t *testing.T) {
+	d := NewDeque(8)
+	for i := int64(0); i < 5; i++ {
+		if !d.PushBottom(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if d.Len() != 5 {
+		t.Fatalf("len = %d, want 5", d.Len())
+	}
+	for want := int64(4); want >= 0; want-- {
+		v, ok := d.PopBottom()
+		if !ok || v != want {
+			t.Fatalf("pop = (%d, %v), want (%d, true)", v, ok, want)
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("pop on empty deque succeeded")
+	}
+}
+
+func TestDequeStealFIFO(t *testing.T) {
+	d := NewDeque(8)
+	for i := int64(0); i < 4; i++ {
+		d.PushBottom(i)
+	}
+	for want := int64(0); want < 4; want++ {
+		v, ok := d.Steal()
+		if !ok || v != want {
+			t.Fatalf("steal = (%d, %v), want (%d, true)", v, ok, want)
+		}
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("steal on empty deque succeeded")
+	}
+}
+
+func TestDequeFullPushRejected(t *testing.T) {
+	d := NewDeque(4)
+	for i := int64(0); i < 4; i++ {
+		if !d.PushBottom(i) {
+			t.Fatalf("push %d failed below capacity", i)
+		}
+	}
+	if d.PushBottom(99) {
+		t.Fatal("push beyond capacity accepted")
+	}
+	d.Steal()
+	if !d.PushBottom(99) {
+		t.Fatal("push after steal freed a slot failed")
+	}
+}
+
+// TestDequeOwnerVsThieves hammers one owner popping against many
+// thieves stealing: every pushed value must be taken exactly once.
+// Run under -race this is the deque's memory-model wall.
+func TestDequeOwnerVsThieves(t *testing.T) {
+	const items = 20000
+	const thieves = 4
+	d := NewDeque(items)
+	taken := make([]int32, items)
+	var total atomic.Int64
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v, ok := d.Steal(); ok {
+					atomic.AddInt32(&taken[v], 1)
+					total.Add(1)
+					continue
+				}
+				select {
+				case <-stop:
+					return
+				default:
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	// Owner: interleave pushes and pops.
+	for i := 0; i < items; i++ {
+		for !d.PushBottom(int64(i)) {
+			runtime.Gosched()
+		}
+		if i%3 == 0 {
+			if v, ok := d.PopBottom(); ok {
+				atomic.AddInt32(&taken[v], 1)
+				total.Add(1)
+			}
+		}
+	}
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			if total.Load() == items {
+				break
+			}
+			runtime.Gosched()
+			continue
+		}
+		atomic.AddInt32(&taken[v], 1)
+		total.Add(1)
+	}
+	close(stop)
+	wg.Wait()
+	for i, c := range taken {
+		if c != 1 {
+			t.Fatalf("item %d taken %d times", i, c)
+		}
+	}
+}
+
+// TestStealSchedDoesNotLeakGoroutines is the pool leak wall run
+// against the work-stealing scheduler: oversubscribed Steal regions on
+// a small pool must not strand worker goroutines.
+func TestStealSchedDoesNotLeakGoroutines(t *testing.T) {
+	p := NewPool(4)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		seen := make([]int32, 4096)
+		For(p, 16, 4096, 16, Steal, func(lo, hi, chunk, worker int) {
+			for j := lo; j < hi; j++ {
+				atomic.AddInt32(&seen[j], 1)
+			}
+		})
+		for j, c := range seen {
+			if c != 1 {
+				t.Fatalf("region %d: index %d ran %d times", i, j, c)
+			}
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+8 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d under Steal: pool leaks workers",
+		before, runtime.NumGoroutine())
+}
+
+// TestStealSeedStable pins the per-region seed derivation: the real
+// steal schedule must be reproducible for a given region shape.
+func TestStealSeedStable(t *testing.T) {
+	if StealSeed(100, 4) != StealSeed(100, 4) {
+		t.Fatal("stealSeed is not a pure function")
+	}
+	if StealSeed(100, 4) == StealSeed(100, 8) {
+		t.Fatal("stealSeed ignores the worker count")
+	}
+	if StealSeed(100, 4) == StealSeed(101, 4) {
+		t.Fatal("stealSeed ignores the chunk count")
+	}
+}

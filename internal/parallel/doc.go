@@ -1,0 +1,48 @@
+// Package parallel is the shared parallel-primitives runtime that all
+// five engine analogues execute on: a reusable worker pool, a chunked
+// ParallelFor with the simmachine's three scheduling policies,
+// deterministic reducers, per-worker counters, write-min atomics, and
+// an atomic frontier queue.
+//
+// # Scheduling policies
+//
+// For assigns chunk indices to real workers under one of three
+// policies, mirroring simmachine.Sched so engines use one policy for
+// both real execution and virtual-lane cost accounting:
+//
+//   - Static: chunk c runs on worker c % workers (OpenMP
+//     schedule(static, grain)). Zero coordination, maximal imbalance
+//     on skewed chunk costs.
+//   - Dynamic: workers take the next unclaimed chunk off one shared
+//     atomic counter (OpenMP schedule(dynamic, grain)). Balanced, but
+//     every chunk claim contends on the same cache line, which
+//     serializes at high worker counts.
+//   - Steal: each worker owns a Chase–Lev deque prefilled with its
+//     static share; owners pop locally (no contention at all while
+//     work remains) and idle workers steal from victims chosen by a
+//     per-region seeded RNG. This is the Cilk/TBB discipline that
+//     work-stealing runtimes use to make graph kernels scale.
+//
+// # Determinism contract
+//
+// Everything in this package separates *real execution schedule*
+// (which goroutine runs which chunk, decided by the OS and, under
+// Steal, by steal races) from *logical schedule* (how chunk indices
+// map to results). Kernel outputs and simmachine cost accounting key
+// off chunk indices only, so results and modeled durations are
+// identical across runs and across real worker counts under every
+// policy. Floating-point reductions use per-chunk slots folded in
+// chunk order (Reducer); racy helpers whose results are
+// order-independent (WriteMinInt64, Counter sums, Queue membership)
+// are safe because min and integer addition are commutative and the
+// queue's contents are canonicalized by the caller (sorted frontiers).
+//
+// # Fidelity notes
+//
+// The pool models nothing: it is the real execution substrate. What
+// it cannot reproduce is hardware concurrency beyond GOMAXPROCS —
+// worker counts above the core count are legal (goroutines are
+// multiplexed) and exercised by the determinism tests, but wall-clock
+// speedup saturates at the host's parallelism. Modeled scaling comes
+// from internal/simmachine instead.
+package parallel

@@ -1,25 +1,11 @@
-// Package parallel is the shared parallel-primitives runtime that all
-// five engine analogues execute on: a reusable worker pool, a chunked
-// ParallelFor with the simmachine's two scheduling policies (static
-// round-robin and dynamic work stealing off a shared counter),
-// deterministic reducers, and an atomic frontier queue.
-//
-// Determinism contract. Everything in this package separates *real
-// execution schedule* (which goroutine runs which chunk, decided by
-// the OS) from *logical schedule* (how chunk indices map to results).
-// Kernel outputs and simmachine cost accounting key off chunk indices
-// only, so results and modeled durations are identical across runs and
-// across real worker counts. Floating-point reductions use per-chunk
-// slots folded in chunk order (Reducer); racy helpers whose results
-// are order-independent (WriteMinInt64, Counter sums, Queue membership)
-// are safe because min and integer addition are commutative and the
-// queue's contents are canonicalized by the caller (sorted frontiers).
 package parallel
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"github.com/hpcl-repro/epg/internal/xrand"
 )
 
 // Sched selects how chunk indices are assigned to workers. The values
@@ -34,6 +20,12 @@ const (
 	// Dynamic hands each worker the next unclaimed chunk off a shared
 	// atomic counter, OpenMP schedule(dynamic, grain) style.
 	Dynamic
+	// Steal seeds each worker with a round-robin share of the chunks
+	// in a private Chase–Lev deque; owners pop locally and idle
+	// workers steal from randomized victims (Cilk/TBB style). The
+	// shared-counter serialization of Dynamic disappears: the only
+	// cross-worker traffic is the occasional steal CAS.
+	Steal
 )
 
 // task is one dispatch to a pooled worker goroutine.
@@ -203,6 +195,8 @@ func For(p *Pool, workers, n, grain int, sched Sched, body func(lo, hi, chunk, w
 				runChunk(c, worker)
 			}
 		})
+	case Steal:
+		forSteal(p, workers, nchunks, runChunk)
 	default: // Dynamic
 		var next atomic.Int64
 		p.Run(workers, func(worker int) {
@@ -215,4 +209,85 @@ func For(p *Pool, workers, n, grain int, sched Sched, body func(lo, hi, chunk, w
 			}
 		})
 	}
+}
+
+// StealSeed derives the per-region RNG seed for steal victim
+// selection from the region's shape: the chunk count and the number
+// of consumers (real workers here; virtual lanes in the simmachine's
+// steal simulation, which shares this formula so the modeled
+// discipline mirrors the real one). A pure function, so the same
+// region reruns with the same steal schedule — reproducibility of the
+// *real* execution, though nothing observable depends on it (outputs
+// key off chunk indices and modeled costs key off the virtual-lane
+// policy).
+func StealSeed(nchunks, consumers int) uint64 {
+	return xrand.Mix64(0x57ea1<<40 ^ uint64(nchunks)<<16 ^ uint64(consumers))
+}
+
+// forSteal executes the chunks under work stealing: worker w's deque
+// is prefilled with chunks w, w+workers, ... (the Static assignment),
+// pushed in descending order so owners pop their share in ascending
+// index order; thieves take a victim's highest-index chunk.
+//
+// Termination needs no counter: nothing is pushed after the prefill,
+// so once a worker's own pop and a deterministic sweep of every other
+// deque come up empty, all chunks have been claimed — their claimants
+// finish them before returning from this region (Run waits on every
+// worker), so the idle worker can exit instead of spinning.
+func forSteal(p *Pool, workers, nchunks int, runChunk func(c, worker int)) {
+	deques := make([]*Deque, workers)
+	per := (nchunks + workers - 1) / workers
+	for w := range deques {
+		deques[w] = NewDeque(per)
+	}
+	for w := 0; w < workers; w++ {
+		last := w + ((nchunks-1-w)/workers)*workers
+		for c := last; c >= 0; c -= workers {
+			if !deques[w].PushBottom(int64(c)) {
+				// Capacity is sized for exactly this prefill; a failed
+				// push would silently drop a chunk.
+				panic("parallel: steal deque prefill overflow")
+			}
+		}
+	}
+	seed := StealSeed(nchunks, workers)
+	p.Run(workers, func(worker int) {
+		rng := xrand.New(seed ^ xrand.Mix64(uint64(worker)+1))
+		own := deques[worker]
+		for {
+			if c, ok := own.PopBottom(); ok {
+				runChunk(int(c), worker)
+				continue
+			}
+			// Randomized victims first (decorrelates thieves), ...
+			stole := false
+			for tries := 0; tries < workers; tries++ {
+				v := int(rng.Uint64() % uint64(workers))
+				if v == worker {
+					continue
+				}
+				if c, ok := deques[v].Steal(); ok {
+					runChunk(int(c), worker)
+					stole = true
+					break
+				}
+			}
+			if stole {
+				continue
+			}
+			// ... then a deterministic sweep: empty everywhere means
+			// every chunk is claimed and this worker is done.
+			found := false
+			for off := 1; off < workers; off++ {
+				if c, ok := deques[(worker+off)%workers].Steal(); ok {
+					runChunk(int(c), worker)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return
+			}
+		}
+	})
 }

@@ -1,0 +1,40 @@
+// Package simmachine models the execution of parallel graph kernels on
+// a configurable multicore machine.
+//
+// This repository reproduces a study that ran on a 2-socket, 36-core,
+// 72-thread Intel Haswell server. The present environment cannot
+// exhibit 72-way parallelism, so engines execute their algorithms for
+// real (results are validated against references) while every parallel
+// region also charges its work — cycles, DRAM bytes, atomic operations
+// — to a deterministic machine model that computes the region's
+// duration for an arbitrary virtual thread count. The model captures
+// the mechanisms the paper's scalability analysis rests on:
+//
+//   - scheduling policy: OpenMP-style static (round-robin chunks),
+//     dynamic (greedy least-loaded assignment), and work-stealing
+//     (per-lane deques with seeded randomized victim selection — a
+//     deterministic simulation of the Cilk/TBB discipline; see
+//     stealLanes), so load imbalance from skewed degree distributions
+//     appears under static scheduling and each policy's remedy is
+//     modeled;
+//   - frequency scaling: single-thread turbo down to all-core base;
+//   - a memory-bandwidth roofline with per-socket limits, so
+//     bandwidth-bound kernels stop scaling once sockets saturate;
+//   - NUMA: a latency penalty once the second socket is in use;
+//   - SMT: hardware threads 37–72 add only fractional throughput;
+//   - synchronization: fork + barrier overhead per region and an
+//     atomic-contention term that grows with active threads.
+//
+// The model is deterministic: region durations depend only on the
+// charged work, the chunk order, and the policy's per-region seed —
+// never on the real goroutine schedule or worker count. A trace of
+// regions is retained for the power model.
+//
+// Known fidelity gaps: the model is calibrated from public Haswell-EP
+// figures and typical libgomp magnitudes, not measured on the paper's
+// machine; cache effects below the DRAM roofline (L2/L3 locality,
+// false sharing) are folded into the engines' per-operation byte
+// charges; and the steal simulation orders lanes by accumulated load
+// rather than simulating preemption, so steal timing is an
+// approximation of a real racing scheduler.
+package simmachine

@@ -39,6 +39,14 @@ const (
 	// Dynamic assigns each chunk (in index order) to the currently
 	// least-loaded lane, modeling OpenMP schedule(dynamic, grain).
 	Dynamic
+	// Steal assigns chunks by a deterministic simulation of a
+	// work-stealing runtime: each lane starts with its static share
+	// and idle lanes steal from seeded-RNG victims, paying one atomic
+	// per successful steal. The assignment depends only on the chunk
+	// costs, the virtual thread count, and the per-region seed — never
+	// on real workers — so modeled durations stay bit-identical at any
+	// worker count. See stealLanes.
+	Steal
 )
 
 // Region is one entry of the machine's activity trace: a parallel or
@@ -86,6 +94,12 @@ type Machine struct {
 	elapsed float64
 	trace   []Region
 	tracing bool
+
+	// Scheduling-policy override: when forced, every parallel region
+	// runs under forceSched regardless of the engine's per-region
+	// choice (Spec.Sched plumbs through here).
+	forceSched Sched
+	forced     bool
 }
 
 // New returns a machine with the given model and virtual thread count.
@@ -126,6 +140,25 @@ func (m *Machine) SetWorkers(k int) {
 
 // Model returns the machine's cost model.
 func (m *Machine) Model() Model { return m.model }
+
+// SetSchedOverride forces every subsequent parallel region onto
+// policy s, overriding the engine's per-region choice. This is the
+// Spec.Sched knob: it changes both the real chunk assignment and the
+// virtual-lane cost accounting, uniformly across engines.
+func (m *Machine) SetSchedOverride(s Sched) {
+	m.forceSched, m.forced = s, true
+}
+
+// ClearSchedOverride restores each region's own policy.
+func (m *Machine) ClearSchedOverride() { m.forced = false }
+
+// effSched resolves a region's policy against the machine override.
+func (m *Machine) effSched(s Sched) Sched {
+	if m.forced {
+		return m.forceSched
+	}
+	return s
+}
 
 // Elapsed returns the modeled time in seconds since creation or the
 // last Reset.
@@ -201,13 +234,18 @@ func (m *Machine) Sleep(seconds float64) {
 
 // execSched maps the accounting policy onto the runtime's execution
 // policy: the real schedule mirrors the modeled one (static chunks are
-// strided round-robin, dynamic chunks come off a shared counter), but
-// nothing observable depends on the real assignment.
+// strided round-robin, dynamic chunks come off a shared counter, steal
+// chunks move between per-worker deques), but nothing observable
+// depends on the real assignment.
 func execSched(s Sched) parallel.Sched {
-	if s == Static {
+	switch s {
+	case Static:
 		return parallel.Static
+	case Steal:
+		return parallel.Steal
+	default:
+		return parallel.Dynamic
 	}
-	return parallel.Dynamic
 }
 
 // ParallelFor executes body over [0, n) in chunks of the given grain,
@@ -233,6 +271,7 @@ func (m *Machine) ParallelForChunks(n, grain int, sched Sched, body func(lo, hi,
 	if grain < 1 {
 		grain = 1
 	}
+	sched = m.effSched(sched)
 	costs := make([]Cost, parallel.NumChunks(n, grain))
 	parallel.For(m.pool, m.workers, n, grain, execSched(sched), func(lo, hi, chunk, worker int) {
 		var w W
@@ -281,8 +320,10 @@ func (m *Machine) commitRegion(costs []Cost, sched Sched) {
 				}
 			}
 			lanes[best].Add(c)
-			loads[best] += c.Cycles + c.Atomics*m.model.AtomicCycles + c.Bytes/4
+			loads[best] += laneLoad(c, &m.model)
 		}
+	case Steal:
+		lanes = stealLanes(costs, t, &m.model)
 	}
 	m.commitLanes(lanes)
 }

@@ -1,0 +1,105 @@
+package simmachine
+
+import (
+	"github.com/hpcl-repro/epg/internal/parallel"
+	"github.com/hpcl-repro/epg/internal/xrand"
+)
+
+// laneLoad converts a chunk cost into the scalar "cycles-equivalent"
+// load the schedulers order lanes by (atomics folded at uncontended
+// cost, bytes at a nominal 4 B/cycle).
+func laneLoad(c Cost, model *Model) float64 {
+	return c.Cycles + c.Atomics*model.AtomicCycles + c.Bytes/4
+}
+
+// stealLanes deterministically simulates a work-stealing execution of
+// the chunk costs over t virtual lanes and returns the per-lane cost
+// assignment.
+//
+// The simulation mirrors the real runtime's discipline
+// (parallel.Steal): lane l starts owning chunks l, l+t, l+2t, ... and
+// consumes its own share in ascending index order; when its queue is
+// empty it steals the highest-index remaining chunk from a victim
+// chosen by a seeded RNG (falling back to a deterministic scan so
+// progress never depends on RNG luck), paying one atomic RMW per
+// successful steal. Lanes act in order of accumulated load — the
+// least-loaded lane is the one whose "clock" is furthest behind, i.e.
+// the first to go idle — which makes this a discrete-event
+// approximation of the steal race.
+//
+// Everything here is a pure function of (costs, t, model): the RNG
+// seed derives from the region shape only, so modeled durations are
+// bit-identical across runs and real worker counts. That is the
+// property the determinism wall asserts for SchedSteal.
+func stealLanes(costs []Cost, t int, model *Model) []Cost {
+	lanes := make([]Cost, t)
+	if len(costs) == 0 {
+		return lanes
+	}
+	if t == 1 {
+		for _, c := range costs {
+			lanes[0].Add(c)
+		}
+		return lanes
+	}
+	// Per-lane queues in ascending chunk order; owners take from the
+	// front, thieves from the back (the real deque's two ends).
+	queues := make([][]int, t)
+	for c := range costs {
+		queues[c%t] = append(queues[c%t], c)
+	}
+	head := make([]int, t)
+	tail := make([]int, t)
+	for l := range queues {
+		tail[l] = len(queues[l])
+	}
+
+	r := xrand.New(parallel.StealSeed(len(costs), t))
+	loads := make([]float64, t)
+	remaining := len(costs)
+	for remaining > 0 {
+		// The lane that has accrued the least load acts next
+		// (ties break toward the lowest lane index).
+		l := 0
+		for k := 1; k < t; k++ {
+			if loads[k] < loads[l] {
+				l = k
+			}
+		}
+		if head[l] < tail[l] {
+			c := queues[l][head[l]]
+			head[l]++
+			lanes[l].Add(costs[c])
+			loads[l] += laneLoad(costs[c], model)
+			remaining--
+			continue
+		}
+		// Own queue empty: steal. Random probes first, then a
+		// deterministic scan (remaining > 0 guarantees a victim).
+		victim := -1
+		for tries := 0; tries < t; tries++ {
+			v := int(r.Uint64() % uint64(t))
+			loads[l] += model.AtomicCycles // failed/attempted probe
+			if v != l && head[v] < tail[v] {
+				victim = v
+				break
+			}
+		}
+		if victim < 0 {
+			for off := 1; off < t; off++ {
+				v := (l + off) % t
+				if head[v] < tail[v] {
+					victim = v
+					break
+				}
+			}
+		}
+		tail[victim]--
+		c := queues[victim][tail[victim]]
+		lanes[l].Add(costs[c])
+		lanes[l].Add(Cost{Atomics: 1}) // the claiming CAS
+		loads[l] += laneLoad(costs[c], model) + model.AtomicCycles
+		remaining--
+	}
+	return lanes
+}

@@ -1,0 +1,133 @@
+package simmachine
+
+import (
+	"math"
+	"testing"
+)
+
+// skewedRegion charges a degree-skewed workload (chunk cost grows with
+// the index) under the given policy and worker count.
+func skewedRegion(sched Sched, threads, workers int) (float64, Cost) {
+	m := New(testModel(), threads)
+	m.SetWorkers(workers)
+	m.ParallelFor(1024, 8, sched, func(lo, hi int, w *W) {
+		w.Cycles(float64((hi - lo) * (lo + 7)))
+		w.Bytes(float64(hi-lo) * 48)
+		w.Atomics(float64(lo % 5))
+	})
+	var total Cost
+	for _, r := range m.Trace() {
+		total.Add(r.Cost)
+	}
+	return m.Elapsed(), total
+}
+
+func TestStealDurationsIndependentOfWorkers(t *testing.T) {
+	base, baseCost := skewedRegion(Steal, 8, 1)
+	for _, workers := range []int{1, 2, 4, 16} {
+		for rep := 0; rep < 3; rep++ {
+			got, cost := skewedRegion(Steal, 8, workers)
+			if got != base {
+				t.Fatalf("workers=%d rep=%d: modeled %v != %v", workers, rep, got, base)
+			}
+			if cost != baseCost {
+				t.Fatalf("workers=%d: charged cost %+v != %+v", workers, cost, baseCost)
+			}
+		}
+	}
+}
+
+func TestStealLanesConserveChunkCosts(t *testing.T) {
+	model := testModel()
+	costs := make([]Cost, 100)
+	var wantCycles, wantBytes, wantAtomics float64
+	for i := range costs {
+		costs[i] = Cost{Cycles: float64(i * 11), Bytes: float64(i % 7 * 32), Atomics: float64(i % 3)}
+		wantCycles += costs[i].Cycles
+		wantBytes += costs[i].Bytes
+		wantAtomics += costs[i].Atomics
+	}
+	for _, threads := range []int{1, 3, 8, 72} {
+		lanes := stealLanes(costs, threads, &model)
+		if len(lanes) != threads {
+			t.Fatalf("threads=%d: %d lanes", threads, len(lanes))
+		}
+		var got Cost
+		for _, l := range lanes {
+			got.Add(l)
+		}
+		if got.Cycles != wantCycles || got.Bytes != wantBytes {
+			t.Errorf("threads=%d: cycles/bytes not conserved: %+v", threads, got)
+		}
+		// Steals add atomics (the claiming CAS) but never drop any.
+		if got.Atomics < wantAtomics {
+			t.Errorf("threads=%d: atomics dropped: %v < %v", threads, got.Atomics, wantAtomics)
+		}
+	}
+}
+
+// Work stealing must fix the load imbalance Static suffers when the
+// heavy chunks cluster on one lane's residue class, landing near
+// Dynamic's greedy-balanced duration. (On *balanced* chunk costs the
+// steal simulation performs no steals and coincides with Static —
+// that is the point of locality-preserving initial placement.)
+func TestStealBalancesSkewLikeDynamic(t *testing.T) {
+	region := func(sched Sched) float64 {
+		m := New(testModel(), 16)
+		m.ParallelFor(1024, 8, sched, func(lo, hi int, w *W) {
+			if (lo/8)%16 == 0 { // all heavy chunks belong to lane 0 statically
+				w.Cycles(5e5)
+			} else {
+				w.Cycles(200)
+			}
+		})
+		return m.Elapsed()
+	}
+	static := region(Static)
+	dynamic := region(Dynamic)
+	steal := region(Steal)
+	if steal >= static {
+		t.Errorf("steal (%v) not faster than static (%v) on skew", steal, static)
+	}
+	if steal > dynamic*1.25 {
+		t.Errorf("steal (%v) more than 25%% behind dynamic (%v)", steal, dynamic)
+	}
+}
+
+func TestSchedOverrideForcesPolicy(t *testing.T) {
+	// Residue-clustered skew: every chunk with index ≡ 0 (mod 16) is
+	// heavy, so Static piles all heavy chunks on lane 0 and stealing
+	// must redistribute them — the durations cannot coincide.
+	body := func(lo, hi int, w *W) {
+		if (lo/4)%16 == 0 {
+			w.Cycles(1e6)
+		} else {
+			w.Cycles(100)
+		}
+	}
+	run := func(override bool) float64 {
+		m := New(testModel(), 16)
+		if override {
+			m.SetSchedOverride(Steal)
+		}
+		// Engine asks for Static; the override must land on Steal.
+		m.ParallelFor(512, 4, Static, body)
+		return m.Elapsed()
+	}
+	plainStatic := run(false)
+	forced := run(true)
+	m := New(testModel(), 16)
+	m.SetSchedOverride(Steal)
+	m.ClearSchedOverride()
+	m.ParallelFor(512, 4, Static, body)
+	cleared := m.Elapsed()
+	if forced == plainStatic {
+		t.Error("override did not change the modeled schedule on skewed work")
+	}
+	if cleared != plainStatic {
+		t.Errorf("cleared override still active: %v vs %v", cleared, plainStatic)
+	}
+	if math.IsNaN(forced) || forced <= 0 {
+		t.Errorf("forced duration bogus: %v", forced)
+	}
+}

@@ -1,0 +1,32 @@
+// Package verify provides serial reference implementations of the six
+// study kernels and validators used to check every engine's output.
+// It models no system from the paper — it is the ground truth the
+// five analogues are held to, the role the Graphalytics validation
+// suite plays in the original study.
+//
+// All engines and references operate on the same homogenized graph: a
+// simple graph (self-loops dropped, duplicate edges removed, sorted
+// adjacency), symmetrized when the input is undirected — mirroring the
+// dataset homogenization phase of the paper. Reference semantics:
+//
+//   - BFS: out-edge traversal; levels (depths) are unique, so engine
+//     depth arrays must match the reference exactly even when parent
+//     choices differ.
+//   - SSSP: Dijkstra over float32 weights accumulated in float64.
+//   - PageRank: damping 0.85, uniform teleport, dangling mass
+//     redistributed uniformly, L1 stopping criterion.
+//   - CDLP: synchronous label propagation; a vertex adopts the most
+//     frequent label among its in- and out-neighbors, breaking ties
+//     toward the smallest label (LDBC Graphalytics semantics).
+//   - LCC: N(v) = distinct in∪out neighbors; coefficient is the
+//     fraction of ordered neighbor pairs (u,w) joined by an edge.
+//   - WCC: weak connectivity; component IDs canonicalized to the
+//     minimum member vertex ID.
+//
+// Known fidelity gaps: the references are deliberately serial and
+// unoptimized (Dijkstra with a binary heap, LCC by hash-set
+// membership), so they bound test-graph sizes — the kron-18 sweep
+// behind EPG_BIG_CONFORMANCE skips LCC because the reference is
+// quadratic in hub degree. Validators accept any valid parent tree
+// for BFS/SSSP rather than requiring the engine's exact tie-breaks.
+package verify

@@ -1,24 +1,3 @@
-// Package verify provides serial reference implementations of the six
-// study kernels and validators used to check every engine's output.
-//
-// All engines and references operate on the same homogenized graph: a
-// simple graph (self-loops dropped, duplicate edges removed, sorted
-// adjacency), symmetrized when the input is undirected — mirroring the
-// dataset homogenization phase of the paper. Reference semantics:
-//
-//   - BFS: out-edge traversal; levels (depths) are unique, so engine
-//     depth arrays must match the reference exactly even when parent
-//     choices differ.
-//   - SSSP: Dijkstra over float32 weights accumulated in float64.
-//   - PageRank: damping 0.85, uniform teleport, dangling mass
-//     redistributed uniformly, L1 stopping criterion.
-//   - CDLP: synchronous label propagation; a vertex adopts the most
-//     frequent label among its in- and out-neighbors, breaking ties
-//     toward the smallest label (LDBC Graphalytics semantics).
-//   - LCC: N(v) = distinct in∪out neighbors; coefficient is the
-//     fraction of ordered neighbor pairs (u,w) joined by an edge.
-//   - WCC: weak connectivity; component IDs canonicalized to the
-//     minimum member vertex ID.
 package verify
 
 import (
