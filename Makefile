@@ -1,11 +1,13 @@
 # Lightweight CI for the epg reproduction. `make test` is the tier-1
-# gate; `make race` is the concurrency wall over the parallel runtime
-# and every engine kernel; `make bench` regenerates the paper's tables
-# and figures once; `make baseline` rewrites BENCH_baseline.json.
+# gate; `make race` is the concurrency wall over the parallel runtime,
+# the graph builders, and every engine kernel; `make bench` regenerates
+# the paper's tables and figures once; `make baseline` rewrites
+# BENCH_baseline.json; `make benchfig` rewrites the scheduling-study
+# CSV (FIG_sched_study.csv).
 
 GO ?= go
 
-.PHONY: all build test race bench baseline vet
+.PHONY: all build test race race-full bench baseline benchfig speedup-floor big-conformance vet
 
 all: test race
 
@@ -16,7 +18,7 @@ test: build
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/engines/...
+	$(GO) test -race ./internal/parallel/... ./internal/graph/... ./internal/engines/...
 
 race-full:
 	$(GO) test -race ./...
@@ -26,6 +28,12 @@ bench:
 
 baseline:
 	EPG_WRITE_BASELINE=1 $(GO) test -run TestWriteBenchBaseline -v .
+
+benchfig:
+	EPG_WRITE_SCHEDFIG=1 $(GO) test -run TestWriteSchedStudy -v .
+
+speedup-floor:
+	EPG_SPEEDUP_FLOOR=1 $(GO) test -run TestSpeedupFloor -v .
 
 big-conformance:
 	EPG_BIG_CONFORMANCE=1 $(GO) test -run TestBigConformance -v -timeout 60m ./internal/engines/all/

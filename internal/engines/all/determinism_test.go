@@ -6,7 +6,8 @@
 // exactly.
 //
 // Scope: BFS and PageRank are fully deterministic in every engine
-// (write-min claims, sorted frontiers, chunk-ordered reductions), as
+// (write-min claims, chunk-ordered/bitmap frontiers, chunk-ordered
+// reductions), as
 // are GraphMat's and PowerGraph's synchronous SSSP. GAP's
 // delta-stepping and GraphBIG's relaxation default to their chaotic
 // character (schedule-dependent work traces, as in the real systems)

@@ -9,6 +9,17 @@ import (
 	"github.com/hpcl-repro/epg/internal/simmachine"
 )
 
+// Frontier grains: small top-down chunks keep skewed frontiers
+// balanced; bottom-up sweeps the whole vertex range in larger chunks.
+// Both are multiples of 64 so bitmap chunks never share words.
+const (
+	bfsTopDownGrain  = 64
+	bfsBottomUpGrain = 1024
+	// bfsBitmapWordGrain is the modeled chunking of bitmap-word sweeps
+	// (the real sweep runs inside Bitmap.ToSlice at the same grain).
+	bfsBitmapWordGrain = 256
+)
+
 // BFS implements engines.Instance with the direction-optimizing
 // algorithm of Beamer et al.: top-down steps process the frontier and
 // claim children with a priority write (min parent wins); once the
@@ -20,12 +31,15 @@ import (
 // bottom-up entirely (pure top-down), which the ablation benchmarks
 // use.
 //
-// Execution runs on the shared parallel runtime and is deterministic:
-// claims are write-min (so every claimed vertex ends with its minimum
-// frontier in-neighbor as parent, matching the bottom-up rule over
-// sorted adjacency), frontiers are canonicalized by sorting, and every
-// charged cost is a function of chunk contents only — never of the
-// goroutine schedule.
+// Frontiers are deterministic by construction, never by sorting — the
+// sliding-queue discipline of the real suite. Top-down collects
+// tentative claims in a chunk-ordered queue and drains it with the
+// final write-min parents as the filter, so the next frontier's
+// membership and order are schedule-independent; bottom-up keeps the
+// frontier as a bitmap (set bits are idempotent), and the two
+// representations convert into each other at the direction switch
+// exactly as GAP's sliding queue does. Every charged cost is a
+// function of chunk contents only — never of the goroutine schedule.
 func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 	inst.ensureBuilt()
 	n := inst.n
@@ -43,36 +57,50 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 	parent[root] = int64(root)
 	depth[root] = 0
 
-	next := parallel.NewQueue[graph.VID](n)
+	next := parallel.NewChunkQueue[parallel.Claim]()
+	var front, nextBits *parallel.Bitmap // allocated at the first switch
 	frontier := []graph.VID{root}
+	frontierLen := 1
 	scout := inst.out.Degree(root)
 	level := int64(0)
 	edgesUnexplored := inst.mEdges
 	bottomUp := false
 	var edgesExamined int64
 
-	for len(frontier) > 0 {
+	for frontierLen > 0 {
+		wasBottomUp := bottomUp
 		if inst.eng.Alpha > 0 {
 			if !bottomUp && scout > edgesUnexplored/int64(inst.eng.Alpha) {
 				bottomUp = true
-			} else if bottomUp && int64(len(frontier)) < int64(n)/int64(inst.eng.Beta) {
+			} else if bottomUp && int64(frontierLen) < int64(n)/int64(inst.eng.Beta) {
 				bottomUp = false
 			}
 		}
 
-		next.Reset()
 		var examined, nextScout int64
 		if bottomUp {
-			examined, nextScout = inst.stepBottomUp(parent, depth, level, next)
+			if front == nil {
+				front = parallel.NewBitmap(n)
+				nextBits = parallel.NewBitmap(n)
+			}
+			if !wasBottomUp {
+				inst.frontierToBitmap(frontier, front)
+			}
+			var found int64
+			examined, nextScout, found = inst.stepBottomUp(front, nextBits, parent, depth, level)
+			front, nextBits = nextBits, front
+			frontierLen = int(found)
 		} else {
-			examined, nextScout = inst.stepTopDown(frontier, parent, depth, level, next)
+			if wasBottomUp {
+				frontier = inst.bitmapToFrontier(front, frontier[:0], frontierLen)
+			}
+			next.Reset(parallel.NumChunks(len(frontier), bfsTopDownGrain))
+			examined = inst.stepTopDown(frontier, parent, depth, level, next)
+			frontier, nextScout = inst.drainFrontier(next, parent, frontier)
+			frontierLen = len(frontier)
 		}
 		edgesExamined += examined
 		edgesUnexplored -= scout
-		// Sorting canonicalizes the frontier: which worker discovered a
-		// vertex is a race, but the set is not, so the sorted order —
-		// and with it every later chunk boundary — is deterministic.
-		frontier = append(frontier[:0], parallel.SortedQueueSlice(next)...)
 		scout = nextScout
 		level++
 	}
@@ -81,18 +109,18 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 }
 
 // stepTopDown expands the frontier along out-edges, claiming children
-// with a write-min on the parent array. The next frontier is collected
-// through the atomic queue (per-chunk batches; the real suite's
-// per-thread queues). Charged costs depend only on the frontier slice
-// a chunk owns: scan cost per edge, one atomic per edge whose target
-// is not yet finalized (the set of such edges is fixed by the previous
-// levels), and queue cycles per dequeued vertex.
-func (inst *Instance) stepTopDown(frontier []graph.VID, parent, depth []int64, level int64, next *parallel.Queue[graph.VID]) (examined, nextScout int64) {
+// with a priority write on the parent array. Every lowering pushes a
+// tentative Claim into the chunk-ordered queue; drainFrontier keeps
+// the winners. Charged costs depend only on the frontier slice a chunk
+// owns: scan cost per edge, one atomic per edge whose target is not
+// yet finalized (the set of such edges is fixed by the previous
+// levels), and queue cycles per dequeued vertex — the last amortizing
+// the chunk-ordered flush, which replaced the per-level sort.
+func (inst *Instance) stepTopDown(frontier []graph.VID, parent, depth []int64, level int64, next *parallel.ChunkQueue[parallel.Claim]) (examined int64) {
 	exa := parallel.NewCounter(inst.m.Workers())
-	sct := parallel.NewCounter(inst.m.Workers())
-	inst.m.ParallelForChunks(len(frontier), 64, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
-		var local []graph.VID
-		var edges, claims, localScout int64
+	inst.m.ParallelForChunks(len(frontier), bfsTopDownGrain, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+		var local []parallel.Claim
+		var edges, claims int64
 		for _, v := range frontier[lo:hi] {
 			for _, u := range inst.out.Neighbors(v) {
 				edges++
@@ -104,61 +132,121 @@ func (inst *Instance) stepTopDown(frontier []graph.VID, parent, depth []int64, l
 					continue
 				}
 				claims++
-				if parallel.WriteMinInt64(&parent[u], int64(v), engines.NoParent) {
-					// Exactly one claimer observes the first write:
-					// it owns discovery (queue push, scout count).
+				if parallel.LowerMinInt64(&parent[u], int64(v), engines.NoParent) {
+					// Every lowering is a tentative discovery; the
+					// final minimum always lowers, so the winning
+					// chunk always holds a claim for u.
 					atomic.StoreInt64(&depth[u], level+1)
-					local = append(local, u)
-					localScout += inst.out.Degree(u)
+					local = append(local, parallel.Claim{V: u, By: v})
 				}
 			}
 		}
-		next.PushBatch(local)
+		next.Put(chunk, local)
 		exa.Add(worker, edges)
-		sct.Add(worker, localScout)
 		w.Charge(costTopDownEdge.Scale(float64(edges)))
 		w.Charge(costClaim.Scale(float64(claims)))
-		w.Cycles(float64(hi-lo) * 6) // queue pop + amortized push/sort
+		w.Cycles(float64(hi-lo) * 6) // queue pop + amortized chunk flush
 	})
-	return exa.Sum(), sct.Sum()
+	return exa.Sum()
+}
+
+// drainFrontier filters the tentative claims against the final
+// write-min parents — keeping, for each discovered vertex, exactly the
+// claim made by its minimum parent — and returns the next frontier in
+// chunk order plus its scout (outgoing-degree) count. Both outputs are
+// schedule-independent: the kept set and order depend only on the
+// final parents and the chunk partition. Its cost is charged inside
+// stepTopDown (the amortized flush cycles), not as a region of its
+// own: a region per level would pay a barrier per level.
+func (inst *Instance) drainFrontier(next *parallel.ChunkQueue[parallel.Claim], parent []int64, dst []graph.VID) ([]graph.VID, int64) {
+	var scout int64
+	out := parallel.DrainChunkQueue(next, dst[:0], func(c parallel.Claim) (graph.VID, bool) {
+		if parent[c.V] != int64(c.By) {
+			return 0, false // lost the min race to another chunk
+		}
+		scout += inst.out.Degree(c.V)
+		return c.V, true
+	})
+	return out, scout
+}
+
+// frontierToBitmap converts a queue frontier into the bitmap the
+// bottom-up step consumes (the top-down→bottom-up side of the
+// direction switch). Bit sets are atomic ORs: idempotent and
+// commutative, hence schedule-independent. The bitmap reset is charged
+// as a uniform word share folded into each insert chunk — a pure
+// function of (frontier length, n), so still deterministic.
+func (inst *Instance) frontierToBitmap(frontier []graph.VID, b *parallel.Bitmap) {
+	b.Clear()
+	words := float64((inst.n + 63) / 64)
+	share := words / float64(parallel.NumChunks(len(frontier), bfsTopDownGrain))
+	inst.m.ParallelForChunks(len(frontier), bfsTopDownGrain, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+		for _, v := range frontier[lo:hi] {
+			b.Set(int(v))
+		}
+		w.Charge(costBitmapInsert.Scale(float64(hi - lo)))
+		w.Charge(costBitmapWord.Scale(share))
+	})
+}
+
+// bitmapToFrontier converts the bitmap frontier back into an ascending
+// vertex slice (the bottom-up→top-down side of the switch), running
+// the two-pass parallel ToSlice on the machine's pool and charging it
+// as one uniform word sweep whose per-word cost folds in the flush of
+// the produced queue entries (count/words each) — a pure function of
+// (n, count), so the modeled duration is schedule-independent.
+func (inst *Instance) bitmapToFrontier(b *parallel.Bitmap, dst []graph.VID, count int) []graph.VID {
+	out := b.ToSlice(inst.m.Pool(), inst.m.Workers(), dst)
+	words := (inst.n + 63) / 64
+	per := costBitmapWord
+	per.Add(costQueueDrain.Scale(float64(count) / float64(words)))
+	inst.m.ChargeUniform(words, bfsBitmapWordGrain, simmachine.Dynamic, per)
+	return out
 }
 
 // stepBottomUp scans unvisited vertices for a parent on the frontier
-// (identified by depth == level). Each vertex mutates only its own
-// entries, so no atomics are charged — the source of GAP's superior
-// scaling on low-diameter graphs. Taking the first match in sorted
-// in-adjacency yields the minimum-ID parent, the same rule the
-// top-down write-min enforces.
-func (inst *Instance) stepBottomUp(parent, depth []int64, level int64, next *parallel.Queue[graph.VID]) (examined, nextScout int64) {
+// bitmap. Each vertex mutates only its own entries, so no atomics are
+// charged — the source of GAP's superior scaling on low-diameter
+// graphs. Taking the first match in sorted in-adjacency yields the
+// minimum-ID parent, the same rule the top-down write-min enforces.
+// The next frontier is the bitmap of discovered vertices: membership
+// is per-vertex-owned, hence deterministic, and needs no
+// canonicalization at all. Each chunk resets its own word range of the
+// next bitmap in-region (ranges are 64-aligned by the grain), so the
+// reset is parallel and charged per chunk — no extra region, no extra
+// barrier.
+func (inst *Instance) stepBottomUp(front, next *parallel.Bitmap, parent, depth []int64, level int64) (examined, nextScout, found int64) {
 	n := inst.n
 	exa := parallel.NewCounter(inst.m.Workers())
 	sct := parallel.NewCounter(inst.m.Workers())
-	inst.m.ParallelForChunks(n, 1024, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
-		var local []graph.VID
-		var edges, localScout int64
+	fnd := parallel.NewCounter(inst.m.Workers())
+	inst.m.ParallelForChunks(n, bfsBottomUpGrain, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+		next.ClearRange(lo, hi)
+		w.Charge(costBitmapWord.Scale(float64(hi-lo) / 64))
+		var edges, localScout, localFound int64
 		for v := lo; v < hi; v++ {
 			if parent[v] != engines.NoParent {
 				continue
 			}
 			for _, u := range inst.in.Neighbors(graph.VID(v)) {
 				edges++
-				// depth[u] == level implies u was claimed in an
-				// earlier step, so its entry is stable this region.
-				if atomic.LoadInt64(&depth[u]) == level {
+				if front.Test(int(u)) {
+					// Own-vertex writes only: no atomics, no races.
 					parent[v] = int64(u)
-					atomic.StoreInt64(&depth[v], level+1)
-					local = append(local, graph.VID(v))
+					depth[v] = level + 1
+					next.Set(v)
+					localFound++
 					localScout += inst.out.Degree(graph.VID(v))
 					break
 				}
 			}
 		}
-		next.PushBatch(local)
 		exa.Add(worker, edges)
 		sct.Add(worker, localScout)
+		fnd.Add(worker, localFound)
 		w.Charge(costBottomUpEdge.Scale(float64(edges)))
-		w.Cycles(float64(hi-lo) * 2) // visited-bitmap test per vertex
+		w.Cycles(float64(hi-lo) * 2) // visited test per vertex
 		w.Bytes(float64(hi-lo) * 1)
 	})
-	return exa.Sum(), sct.Sum()
+	return exa.Sum(), sct.Sum(), fnd.Sum()
 }

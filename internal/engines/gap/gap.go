@@ -30,6 +30,12 @@ var (
 	costPRVertex     = simmachine.Cost{Cycles: 6, Bytes: 24}
 	costCCEdge       = simmachine.Cost{Cycles: 4, Bytes: 10}
 	costBuildEdge    = simmachine.Cost{Cycles: 5, Bytes: 18}
+	// Frontier-machinery costs: the sliding queue's flush (per kept
+	// vertex), bitmap word sweeps (clear/scan, per 64-bit word), and
+	// bitmap inserts at the direction switch (per frontier vertex).
+	costQueueDrain   = simmachine.Cost{Cycles: 3, Bytes: 8}
+	costBitmapWord   = simmachine.Cost{Cycles: 1, Bytes: 8}
+	costBitmapInsert = simmachine.Cost{Cycles: 2, Bytes: 8}
 )
 
 // Engine is the GAP Benchmark Suite analogue.
@@ -140,3 +146,8 @@ func (inst *Instance) CDLP(maxIter int) (*engines.CDLPResult, error) {
 func (inst *Instance) LCC() (*engines.LCCResult, error) {
 	return nil, engines.ErrUnsupported
 }
+
+// Machine returns the simmachine this instance executes and charges
+// on, for callers (benchmarks, scheduling studies) that need to read
+// its modeled clock or force a scheduling policy.
+func (inst *Instance) Machine() *simmachine.Machine { return inst.m }

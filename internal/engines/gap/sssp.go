@@ -2,7 +2,6 @@ package gap
 
 import (
 	"math"
-	"sync"
 	"sync/atomic"
 
 	"github.com/hpcl-repro/epg/internal/engines"
@@ -65,6 +64,14 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 
 	buckets := [][]graph.VID{{root}}
 	relax := parallel.NewCounter(inst.m.Workers())
+	// Per-chunk bucket-update queues replace the mutex-guarded merge
+	// the relaxation passes used before: chunks collect their re-adds
+	// and later-bucket insertions locally and the queues concatenate
+	// them in chunk order — no lock, no contention, and the merge order
+	// is a function of the chunk partition alone (membership stays
+	// racy: this is the suite's chaotic CAS relaxation by design).
+	reAddQ := parallel.NewChunkQueue[graph.VID]()
+	laterQ := parallel.NewChunkQueue[[2]int64]() // (bucket, vertex)
 
 	bucketOf := func(d float64) int { return int(d / delta) }
 	put := func(bkts [][]graph.VID, idx int, v graph.VID) [][]graph.VID {
@@ -74,6 +81,7 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 		bkts[idx] = append(bkts[idx], v)
 		return bkts
 	}
+	const grain = 32
 
 	for bi := 0; bi < len(buckets); bi++ {
 		// Settle light edges of bucket bi to a fixed point.
@@ -82,10 +90,10 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 		var heavyFrontier []graph.VID
 		for len(current) > 0 {
 			heavyFrontier = append(heavyFrontier, current...)
-			var mu sync.Mutex
-			var reAdd []graph.VID
-			var later [][2]int64 // (bucket, vertex) pairs found for later buckets
-			inst.m.ParallelForChunks(len(current), 32, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+			nchunks := parallel.NumChunks(len(current), grain)
+			reAddQ.Reset(nchunks)
+			laterQ.Reset(nchunks)
+			inst.m.ParallelForChunks(len(current), grain, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 				var localRe []graph.VID
 				var localLater [][2]int64
 				var edges, wins int64
@@ -120,27 +128,22 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 						}
 					}
 				}
-				if len(localRe)+len(localLater) > 0 {
-					mu.Lock()
-					reAdd = append(reAdd, localRe...)
-					later = append(later, localLater...)
-					mu.Unlock()
-				}
+				reAddQ.Put(chunk, localRe)
+				laterQ.Put(chunk, localLater)
 				relax.Add(worker, edges)
 				w.Charge(costRelax.Scale(float64(edges)))
 				w.Charge(costClaim.Scale(float64(wins)))
 				w.Charge(costBucketOp.Scale(float64(len(localRe) + len(localLater))))
 			})
-			for _, bv := range later {
+			for _, bv := range laterQ.Slice() {
 				buckets = put(buckets, int(bv[0]), graph.VID(bv[1]))
 			}
-			current = reAdd
+			current = reAddQ.AppendTo(nil)
 		}
 		// One pass of heavy edges from everything settled in bi.
 		if len(heavyFrontier) > 0 {
-			var mu sync.Mutex
-			var found [][2]int64
-			inst.m.ParallelForChunks(len(heavyFrontier), 32, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+			laterQ.Reset(parallel.NumChunks(len(heavyFrontier), grain))
+			inst.m.ParallelForChunks(len(heavyFrontier), grain, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 				var local [][2]int64
 				var edges, wins int64
 				for _, v := range heavyFrontier[lo:hi] {
@@ -160,17 +163,13 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 						}
 					}
 				}
-				if len(local) > 0 {
-					mu.Lock()
-					found = append(found, local...)
-					mu.Unlock()
-				}
+				laterQ.Put(chunk, local)
 				relax.Add(worker, edges)
 				w.Charge(costRelax.Scale(float64(edges)))
 				w.Charge(costClaim.Scale(float64(wins)))
 				w.Charge(costBucketOp.Scale(float64(len(local))))
 			})
-			for _, bv := range found {
+			for _, bv := range laterQ.Slice() {
 				if int(bv[0]) > bi {
 					buckets = put(buckets, int(bv[0]), graph.VID(bv[1]))
 				} else {

@@ -75,9 +75,12 @@ func (inst *Instance) ssspSync(root graph.VID) (*engines.SSSPResult, error) {
 
 	// gather collects candidate relaxations of frontier's light
 	// (heavy=false) or heavy (heavy=true) edges against the current
-	// distance snapshot, one candidate list per chunk.
-	gather := func(frontier []graph.VID, bi int, heavy bool) [][]ssspCand {
-		cands := make([][]ssspCand, parallel.NumChunks(len(frontier), 32))
+	// distance snapshot into the chunk-ordered queue (the serial apply
+	// consumes it in chunk order — the same canonical order the old
+	// per-chunk slice-of-slices gave, through the shared primitive).
+	cands := parallel.NewChunkQueue[ssspCand]()
+	gather := func(frontier []graph.VID, bi int, heavy bool) {
+		cands.Reset(parallel.NumChunks(len(frontier), 32))
 		inst.m.ParallelForChunks(len(frontier), 32, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			var local []ssspCand
 			var edges int64
@@ -105,14 +108,13 @@ func (inst *Instance) ssspSync(root graph.VID) (*engines.SSSPResult, error) {
 					}
 				}
 			}
-			cands[chunk] = local
+			cands.Put(chunk, local)
 			// Commutative sum of a deterministic edge set: the total
 			// is schedule-independent even though the adds race.
 			atomic.AddInt64(&relaxed, edges)
 			w.Charge(costRelax.Scale(float64(edges)))
 			w.Charge(costBucketOp.Scale(float64(len(local))))
 		})
-		return cands
 	}
 
 	for bi := 0; bi < len(buckets); bi++ {
@@ -122,31 +124,29 @@ func (inst *Instance) ssspSync(root graph.VID) (*engines.SSSPResult, error) {
 		for len(current) > 0 {
 			heavyFrontier = append(heavyFrontier, current...)
 			pass++
-			cands := gather(current, bi, false)
+			gather(current, bi, false)
 			// Serial apply in chunk order: the bucket barrier.
 			var reAdd []graph.VID
 			inst.m.Serial(func(w *simmachine.W) {
-				var wins, ops int
-				for _, cs := range cands {
-					ops += len(cs)
-					for _, c := range cs {
-						if c.nd >= dist[c.u] {
-							continue // a chunk-earlier candidate won
+				var wins int
+				ops := cands.Len()
+				for _, c := range cands.Slice() {
+					if c.nd >= dist[c.u] {
+						continue // a chunk-earlier candidate won
+					}
+					dist[c.u] = c.nd
+					res.Parent[c.u] = int64(c.p)
+					wins++
+					// b < bi is only reachable from an entry whose
+					// distance already sat below the bucket; keep
+					// settling it here — bucket b has passed.
+					if b := bucketOf(c.nd); b <= bi {
+						if queued[c.u] != pass {
+							queued[c.u] = pass
+							reAdd = append(reAdd, c.u)
 						}
-						dist[c.u] = c.nd
-						res.Parent[c.u] = int64(c.p)
-						wins++
-						// b < bi is only reachable from an entry whose
-						// distance already sat below the bucket; keep
-						// settling it here — bucket b has passed.
-						if b := bucketOf(c.nd); b <= bi {
-							if queued[c.u] != pass {
-								queued[c.u] = pass
-								reAdd = append(reAdd, c.u)
-							}
-						} else {
-							buckets = put(buckets, b, c.u)
-						}
+					} else {
+						buckets = put(buckets, b, c.u)
 					}
 				}
 				w.Charge(costClaim.Scale(float64(wins)))
@@ -157,26 +157,24 @@ func (inst *Instance) ssspSync(root graph.VID) (*engines.SSSPResult, error) {
 		// One synchronous pass over the settled bucket's heavy edges.
 		if len(heavyFrontier) > 0 {
 			pass++
-			cands := gather(heavyFrontier, bi, true)
+			gather(heavyFrontier, bi, true)
 			inst.m.Serial(func(w *simmachine.W) {
-				var wins, ops int
-				for _, cs := range cands {
-					ops += len(cs)
-					for _, c := range cs {
-						if c.nd >= dist[c.u] {
-							continue
-						}
-						dist[c.u] = c.nd
-						res.Parent[c.u] = int64(c.p)
-						wins++
-						if b := bucketOf(c.nd); b > bi {
-							buckets = put(buckets, b, c.u)
-						} else {
-							// Float rounding landed in the current bucket
-							// range; reprocess next bucket, as the chaotic
-							// variant does.
-							buckets = put(buckets, bi+1, c.u)
-						}
+				var wins int
+				ops := cands.Len()
+				for _, c := range cands.Slice() {
+					if c.nd >= dist[c.u] {
+						continue
+					}
+					dist[c.u] = c.nd
+					res.Parent[c.u] = int64(c.p)
+					wins++
+					if b := bucketOf(c.nd); b > bi {
+						buckets = put(buckets, b, c.u)
+					} else {
+						// Float rounding landed in the current bucket
+						// range; reprocess next bucket, as the chaotic
+						// variant does.
+						buckets = put(buckets, bi+1, c.u)
 					}
 				}
 				w.Charge(costClaim.Scale(float64(wins)))

@@ -85,7 +85,7 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 	res.Parent[root] = int64(root)
 	res.Depth[root] = 0
 
-	queue := parallel.NewQueue[graph.VID](n)
+	queue := parallel.NewChunkQueue[parallel.Claim]()
 	frontier := []graph.VID{root}
 	level := int64(0)
 	var examined int64
@@ -93,10 +93,10 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 	// round-robin across threads regardless of degree skew.
 	grain := 128
 	for len(frontier) > 0 {
-		queue.Reset()
+		queue.Reset(parallel.NumChunks(len(frontier), grain))
 		exa := parallel.NewCounter(inst.m.Workers())
 		inst.m.ParallelForChunks(len(frontier), grain, simmachine.Static, func(lo, hi, chunk, worker int, w *simmachine.W) {
-			var local []graph.VID
+			var local []parallel.Claim
 			var edges, claims int64
 			for _, v := range frontier[lo:hi] {
 				for _, u := range inst.csr.Neighbors(v) {
@@ -108,22 +108,25 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 						continue
 					}
 					claims++
-					if parallel.WriteMinInt64(&res.Parent[u], int64(v), engines.NoParent) {
+					if parallel.LowerMinInt64(&res.Parent[u], int64(v), engines.NoParent) {
 						atomic.StoreInt64(&res.Depth[u], level+1)
-						local = append(local, u)
+						local = append(local, parallel.Claim{V: u, By: v})
 					}
 				}
 			}
-			queue.PushBatch(local)
+			queue.Put(chunk, local)
 			exa.Add(worker, edges)
 			w.Charge(costEdge.Scale(float64(edges)))
 			w.Charge(costClaim.Scale(float64(claims)))
-			w.Cycles(float64(hi-lo) * 6) // dequeue + amortized push/sort
+			w.Cycles(float64(hi-lo) * 6) // dequeue + amortized chunk flush
 		})
 		examined += exa.Sum()
-		// Canonical frontier order: discovery is racy, membership and
-		// the write-min parents are not.
-		frontier = append(frontier[:0], parallel.SortedQueueSlice(queue)...)
+		// Canonical frontier without sorting: tentative claims drain in
+		// chunk order, filtered to the final write-min parents, so both
+		// membership and order are schedule-independent.
+		frontier = parallel.DrainChunkQueue(queue, frontier[:0], func(c parallel.Claim) (graph.VID, bool) {
+			return c.V, res.Parent[c.V] == int64(c.By)
+		})
 		level++
 	}
 	res.EdgesExamined = examined

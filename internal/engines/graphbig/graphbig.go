@@ -143,15 +143,16 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 	res.Parent[root] = int64(root)
 	res.Depth[root] = 0
 
-	queue := parallel.NewQueue[graph.VID](n)
+	queue := parallel.NewChunkQueue[parallel.Claim]()
 	frontier := []graph.VID{root}
 	level := int64(0)
 	var examined int64
+	const grain = 32
 	for len(frontier) > 0 {
-		queue.Reset()
+		queue.Reset(parallel.NumChunks(len(frontier), grain))
 		exa := parallel.NewCounter(inst.m.Workers())
-		inst.m.ParallelForChunks(len(frontier), 32, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
-			var local []graph.VID
+		inst.m.ParallelForChunks(len(frontier), grain, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+			var local []parallel.Claim
 			var edges, visits int64
 			for _, v := range frontier[lo:hi] {
 				for _, u := range inst.vertices[v].out {
@@ -164,20 +165,24 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 						continue
 					}
 					visits++
-					if parallel.WriteMinInt64(&res.Parent[u], int64(v), engines.NoParent) {
+					if parallel.LowerMinInt64(&res.Parent[u], int64(v), engines.NoParent) {
 						atomic.StoreInt64(&res.Depth[u], level+1)
-						local = append(local, u)
+						local = append(local, parallel.Claim{V: u, By: v})
 					}
 				}
 			}
-			queue.PushBatch(local)
+			queue.Put(chunk, local)
 			exa.Add(worker, edges)
 			w.Charge(costBFSEdge.Scale(float64(edges)))
 			w.Charge(costVisit.Scale(float64(visits)))
 			w.Cycles(float64(hi-lo) * 4) // frontier queue traffic
 		})
 		examined += exa.Sum()
-		frontier = append(frontier[:0], parallel.SortedQueueSlice(queue)...)
+		// Sort-free canonical frontier: drain tentative claims in chunk
+		// order, keeping only the final write-min winners.
+		frontier = parallel.DrainChunkQueue(queue, frontier[:0], func(c parallel.Claim) (graph.VID, bool) {
+			return c.V, res.Parent[c.V] == int64(c.By)
+		})
 		level++
 	}
 	res.EdgesExamined = examined

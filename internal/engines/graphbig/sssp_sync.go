@@ -49,9 +49,10 @@ func (inst *Instance) ssspSync(root graph.VID) (*engines.SSSPResult, error) {
 	active := []graph.VID{root}
 	queued := make([]int32, n)
 	round := int32(0)
+	cands := parallel.NewChunkQueue[ssspCand]()
 	for len(active) > 0 {
 		round++
-		cands := make([][]ssspCand, parallel.NumChunks(len(active), 32))
+		cands.Reset(parallel.NumChunks(len(active), 32))
 		inst.m.ParallelForChunks(len(active), 32, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			var local []ssspCand
 			var edges int64
@@ -66,28 +67,26 @@ func (inst *Instance) ssspSync(root graph.VID) (*engines.SSSPResult, error) {
 					}
 				}
 			}
-			cands[chunk] = local
+			cands.Put(chunk, local)
 			// Commutative sum of a deterministic edge set.
 			atomic.AddInt64(&relaxed, edges)
 			w.Charge(costSSSPEdge.Scale(float64(edges)))
 			w.Charge(costPropTouch.Scale(float64(hi - lo)))
 		})
-		// Round barrier: serial apply in chunk order.
+		// Round barrier: serial apply in chunk order (the queue's
+		// canonical concatenation).
 		var next []graph.VID
 		inst.m.Serial(func(w *simmachine.W) {
-			var ops int
-			for _, cs := range cands {
-				ops += len(cs)
-				for _, c := range cs {
-					if c.nd >= dist[c.u] {
-						continue // a chunk-earlier candidate won
-					}
-					dist[c.u] = c.nd
-					res.Parent[c.u] = int64(c.p)
-					if queued[c.u] != round {
-						queued[c.u] = round
-						next = append(next, c.u)
-					}
+			ops := cands.Len()
+			for _, c := range cands.Slice() {
+				if c.nd >= dist[c.u] {
+					continue // a chunk-earlier candidate won
+				}
+				dist[c.u] = c.nd
+				res.Parent[c.u] = int64(c.p)
+				if queued[c.u] != round {
+					queued[c.u] = round
+					next = append(next, c.u)
 				}
 			}
 			w.Charge(costPropTouch.Scale(float64(ops)))

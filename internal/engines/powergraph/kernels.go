@@ -42,9 +42,14 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 		accD[i] = inf
 	}
 
-	active := make([]bool, n)
-	next := make([]bool, n)
-	active[root] = true
+	// Active sets are bitmaps (parallel.Bitmap), the dense frontier
+	// representation: the gather sweep tests one bit per edge source
+	// and the apply phase re-arms its own chunk's word range in-region
+	// (2048-grain chunks never share a word), so superstep activation
+	// costs no per-vertex bool traffic and no extra clearing pass.
+	active := parallel.NewBitmap(n)
+	next := parallel.NewBitmap(n)
+	active.Set(int(root))
 	var relaxations int64
 
 	for {
@@ -60,6 +65,7 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 		// accumulators in shard order, commit improvements, activate.
 		anyc := parallel.NewCounter(inst.m.Workers())
 		inst.m.ParallelForChunks(n, 2048, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+			next.ClearRange(lo, hi)
 			var applied, reps int64
 			for v := lo; v < hi; v++ {
 				best := inf
@@ -72,11 +78,10 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 					}
 					accD[i] = inf
 				}
-				next[v] = false
 				if best < dist[v] {
 					dist[v] = best
 					res.Parent[v] = bp
-					next[v] = true
+					next.Set(v)
 					applied++
 				}
 			}

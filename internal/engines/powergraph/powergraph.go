@@ -5,6 +5,7 @@ import (
 
 	"github.com/hpcl-repro/epg/internal/engines"
 	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/parallel"
 	"github.com/hpcl-repro/epg/internal/simmachine"
 )
 
@@ -183,12 +184,12 @@ func (inst *Instance) syncGhosts() {
 
 // gatherSweep runs one GAS gather phase: every shard scans its local
 // edges; body is invoked with the shard ID for edges whose source is
-// active, and accumulates into that shard's replica slots (shard-local
-// writes: no atomics, see accum.go). The scan cost covers the engine's
-// per-edge dispatch even for inactive edges. It returns the processed
-// edge count (deterministic: the active set is fixed before the
-// sweep).
-func (inst *Instance) gatherSweep(active []bool, body func(s int, e shardEdge)) int64 {
+// active (a bitmap frontier; nil means all-active), and accumulates
+// into that shard's replica slots (shard-local writes: no atomics, see
+// accum.go). The scan cost covers the engine's per-edge dispatch even
+// for inactive edges. It returns the processed edge count
+// (deterministic: the active set is fixed before the sweep).
+func (inst *Instance) gatherSweep(active *parallel.Bitmap, body func(s int, e shardEdge)) int64 {
 	shards := inst.shards
 	processedBy := make([]int64, len(shards))
 	inst.m.ForEachThread(func(tid int, w *simmachine.W) {
@@ -198,7 +199,7 @@ func (inst *Instance) gatherSweep(active []bool, body func(s int, e shardEdge)) 
 		var scanned, processed int64
 		for _, e := range shards[tid] {
 			scanned++
-			if active == nil || active[e.src] {
+			if active == nil || active.Test(int(e.src)) {
 				processed++
 				body(tid, e)
 			}

@@ -2,8 +2,8 @@ package graph
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"github.com/hpcl-repro/epg/internal/parallel"
 )
 
 // BuildOptions controls CSR construction.
@@ -32,62 +32,111 @@ func (o *BuildOptions) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// buildSerialCutoff is the edge count below which construction runs on
+// one worker: the histogram/scan machinery only pays for itself on
+// inputs large enough to amortize a barrier.
+const buildSerialCutoff = 1 << 12
+
 // BuildCSR constructs a CSR from an edge list using a two-pass
-// parallel counting-sort: pass one histograms out-degrees, pass two
-// scatters edges into place via atomic cursors. The result is
-// deterministic up to adjacency order; pass Sort for a canonical
+// parallel counting-sort with zero per-edge atomic operations: pass
+// one accumulates one degree histogram per worker over its contiguous
+// edge range; the histograms are merged and turned into row offsets by
+// a parallel exclusive prefix sum (parallel.ScanInt64); pass two
+// scatters edges into per-(worker,vertex) reserved sub-ranges, so
+// every write lands in a slot no other worker can touch. The result
+// is deterministic up to adjacency order (edges of a vertex appear
+// grouped by worker rank, then input order); pass Sort for a canonical
 // structure.
 func BuildCSR(el *EdgeList, opt BuildOptions) *CSR {
 	n := el.NumVertices
 	w := opt.workers()
+	if len(el.Edges) < buildSerialCutoff {
+		w = 1
+	}
+	pool := parallel.Default()
+	ne := len(el.Edges)
+	block := 0
+	if w > 0 {
+		block = (ne + w - 1) / w
+	}
+	edgeRange := func(worker int) (int, int) {
+		lo := worker * block
+		hi := lo + block
+		if lo > ne {
+			lo = ne
+		}
+		if hi > ne {
+			hi = ne
+		}
+		return lo, hi
+	}
 
-	// Pass 1: degree histogram.
-	counts := make([]int64, n+1)
-	parallelChunks(len(el.Edges), w, func(lo, hi int) {
+	// Pass 1: per-worker degree histograms — plain increments into
+	// worker-private arrays, no shared state.
+	hist := make([][]int32, w)
+	pool.Run(w, func(worker int) {
+		h := make([]int32, n)
+		lo, hi := edgeRange(worker)
 		for i := lo; i < hi; i++ {
 			e := el.Edges[i]
 			if opt.DropSelfLoops && e.Src == e.Dst {
 				continue
 			}
-			atomic.AddInt64(&counts[e.Src+1], 1)
+			h[e.Src]++
 			if opt.Symmetrize {
-				atomic.AddInt64(&counts[e.Dst+1], 1)
+				h[e.Dst]++
 			}
 		}
+		hist[worker] = h
 	})
 
-	// Exclusive prefix sum (serial: n+1 adds is cheap relative to
-	// the scatter pass and keeps determinism trivial).
-	for i := 1; i <= n; i++ {
-		counts[i] += counts[i-1]
-	}
-	total := counts[n]
+	// Merge: offsets[v] temporarily holds deg(v); in the same sweep
+	// each worker's histogram entry is replaced by that worker's
+	// start offset *within* vertex v's adjacency row (the reserved
+	// sub-range of pass 2).
+	offsets := make([]int64, n+1)
+	parallel.For(pool, w, n, 4096, parallel.Static, func(lo, hi, chunk, worker int) {
+		for v := lo; v < hi; v++ {
+			var run int32
+			for k := 0; k < w; k++ {
+				d := hist[k][v]
+				hist[k][v] = run
+				run += d
+			}
+			offsets[v] = int64(run)
+		}
+	})
+	total := parallel.ScanInt64(pool, w, offsets)
 
 	csr := &CSR{
 		NumVertices: n,
-		Offsets:     counts,
+		Offsets:     offsets,
 		Adj:         make([]VID, total),
 	}
 	if el.Weighted {
 		csr.Weights = make([]float32, total)
 	}
 
-	// Pass 2: scatter with atomic per-vertex cursors.
-	cursors := make([]int64, n)
-	copy(cursors, counts[:n])
-	parallelChunks(len(el.Edges), w, func(lo, hi int) {
+	// Pass 2: scatter into reserved sub-ranges. Worker k's cursor for
+	// vertex v starts at offsets[v] + hist[k][v] and only worker k
+	// advances it — no atomics, no races.
+	pool.Run(w, func(worker int) {
+		rel := hist[worker]
+		lo, hi := edgeRange(worker)
 		for i := lo; i < hi; i++ {
 			e := el.Edges[i]
 			if opt.DropSelfLoops && e.Src == e.Dst {
 				continue
 			}
-			p := atomic.AddInt64(&cursors[e.Src], 1) - 1
+			p := offsets[e.Src] + int64(rel[e.Src])
+			rel[e.Src]++
 			csr.Adj[p] = e.Dst
 			if el.Weighted {
 				csr.Weights[p] = e.W
 			}
 			if opt.Symmetrize {
-				q := atomic.AddInt64(&cursors[e.Dst], 1) - 1
+				q := offsets[e.Dst] + int64(rel[e.Dst])
+				rel[e.Dst]++
 				csr.Adj[q] = e.Src
 				if el.Weighted {
 					csr.Weights[q] = e.W
@@ -143,71 +192,79 @@ func dedupCSR(c *CSR) *CSR {
 	return out
 }
 
-// Transpose returns the reverse-adjacency CSR (in-neighbors). For a
-// symmetrized graph the transpose equals the original; engines that
-// need pull-direction iteration (GAP's bottom-up BFS, pull PageRank)
-// call this on directed graphs.
+// Transpose returns the reverse-adjacency CSR (in-neighbors) using the
+// same atomic-free histogram/scan/reserved-scatter scheme as BuildCSR,
+// with workers owning contiguous source-vertex ranges. The transpose
+// adjacency order is deterministic up to worker count; engines that
+// depend on order (bottom-up BFS takes the first match) sort it.
 func Transpose(c *CSR, workers int) *CSR {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	n := c.NumVertices
-	counts := make([]int64, n+1)
-	parallelChunks(len(c.Adj), workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			atomic.AddInt64(&counts[c.Adj[i]+1], 1)
+	if len(c.Adj) < buildSerialCutoff {
+		workers = 1
+	}
+	pool := parallel.Default()
+	block := (n + workers - 1) / workers
+	rowRange := func(worker int) (int, int) {
+		lo := worker * block
+		hi := lo + block
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		return lo, hi
+	}
+
+	hist := make([][]int32, workers)
+	pool.Run(workers, func(worker int) {
+		h := make([]int32, n)
+		lo, hi := rowRange(worker)
+		for i := c.Offsets[lo]; i < c.Offsets[hi]; i++ {
+			h[c.Adj[i]]++
+		}
+		hist[worker] = h
+	})
+
+	offsets := make([]int64, n+1)
+	parallel.For(pool, workers, n, 4096, parallel.Static, func(lo, hi, chunk, worker int) {
+		for v := lo; v < hi; v++ {
+			var run int32
+			for k := 0; k < workers; k++ {
+				d := hist[k][v]
+				hist[k][v] = run
+				run += d
+			}
+			offsets[v] = int64(run)
 		}
 	})
-	for i := 1; i <= n; i++ {
-		counts[i] += counts[i-1]
-	}
+	parallel.ScanInt64(pool, workers, offsets)
+
 	t := &CSR{
 		NumVertices: n,
-		Offsets:     counts,
+		Offsets:     offsets,
 		Adj:         make([]VID, len(c.Adj)),
 	}
 	if c.Weights != nil {
 		t.Weights = make([]float32, len(c.Weights))
 	}
-	cursors := make([]int64, n)
-	copy(cursors, counts[:n])
-	for v := 0; v < n; v++ { // serial scatter keeps transpose deterministic
-		for i := c.Offsets[v]; i < c.Offsets[v+1]; i++ {
-			u := c.Adj[i]
-			p := cursors[u]
-			cursors[u]++
-			t.Adj[p] = VID(v)
-			if c.Weights != nil {
-				t.Weights[p] = c.Weights[i]
+	pool.Run(workers, func(worker int) {
+		rel := hist[worker]
+		lo, hi := rowRange(worker)
+		for v := lo; v < hi; v++ {
+			for i := c.Offsets[v]; i < c.Offsets[v+1]; i++ {
+				u := c.Adj[i]
+				p := offsets[u] + int64(rel[u])
+				rel[u]++
+				t.Adj[p] = VID(v)
+				if c.Weights != nil {
+					t.Weights[p] = c.Weights[i]
+				}
 			}
 		}
-	}
+	})
 	return t
-}
-
-// parallelChunks splits [0,n) into one contiguous chunk per worker and
-// runs body on each concurrently.
-func parallelChunks(n, workers int, body func(lo, hi int)) {
-	if workers <= 1 || n < 1024 {
-		body(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= n {
-			break
-		}
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 }

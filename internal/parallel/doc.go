@@ -1,8 +1,8 @@
 // Package parallel is the shared parallel-primitives runtime that all
 // five engine analogues execute on: a reusable worker pool, a chunked
 // ParallelFor with the simmachine's three scheduling policies,
-// deterministic reducers, per-worker counters, write-min atomics, and
-// an atomic frontier queue.
+// deterministic reducers, per-worker counters, write-min atomics, a
+// parallel prefix sum, and three frontier representations.
 //
 // # Scheduling policies
 //
@@ -23,6 +23,37 @@
 //     per-region seeded RNG. This is the Cilk/TBB discipline that
 //     work-stealing runtimes use to make graph kernels scale.
 //
+// # Frontier representations
+//
+// Graph kernels pick among three frontier structures, in increasing
+// order of structure (and decreasing coordination):
+//
+//   - Queue — a single atomic bag filled with one fetch-and-add per
+//     batch. Membership is schedule-independent when the pushed set
+//     is; order is racy. Used only where a bag is the point: GraphBIG's
+//     chaotic SSSP relaxation (System G's contended frontier is part
+//     of its modeled character).
+//   - ChunkQueue — per-chunk local buffers concatenated in chunk index
+//     order, the real GAP suite's sliding-queue discipline. Since
+//     chunk indices are stable, the concatenation is canonical without
+//     sorting. BFS top-down in GAP/Graph500/GraphBIG collects
+//     tentative write-min claims here (LowerMinInt64 + Claim) and
+//     drains the winners; GAP's delta-stepping buckets and both
+//     synchronous SSSP modes collect bucket updates and relaxation
+//     candidates the same way. This replaced the per-level
+//     SortedQueueSlice canonicalization — no kernel sorts a frontier
+//     anymore.
+//   - Bitmap — dense membership with atomic (idempotent, commutative)
+//     set, atomic test, and a parallel two-pass ToSlice built on
+//     ScanInt64. GAP's bottom-up BFS keeps its frontier here,
+//     converting queue↔bitmap at the direction switch exactly as the
+//     real sliding queue does; PowerGraph's supersteps use it for
+//     their active-vertex sets.
+//
+// ScanInt64, the parallel exclusive prefix sum, is also the merge step
+// of the atomic-free CSR builder (internal/graph.BuildCSR): per-worker
+// degree histograms become row offsets with zero per-edge atomics.
+//
 // # Determinism contract
 //
 // Everything in this package separates *real execution schedule*
@@ -33,9 +64,13 @@
 // identical across runs and across real worker counts under every
 // policy. Floating-point reductions use per-chunk slots folded in
 // chunk order (Reducer); racy helpers whose results are
-// order-independent (WriteMinInt64, Counter sums, Queue membership)
-// are safe because min and integer addition are commutative and the
-// queue's contents are canonicalized by the caller (sorted frontiers).
+// order-independent (WriteMinInt64, Counter sums, Queue membership,
+// Bitmap sets) are safe because min, integer addition, and bitwise OR
+// are commutative. The ChunkQueue claim protocol extends this to
+// frontier *order*: every LowerMinInt64 lowering pushes a tentative
+// Claim, and the drain keeps exactly the claim matching the final
+// minimum — so the winner's chunk, and with it the concatenated
+// order, is a pure function of the input.
 //
 // # Fidelity notes
 //

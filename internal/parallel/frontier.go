@@ -2,17 +2,33 @@ package parallel
 
 import (
 	"cmp"
+	"fmt"
 	"slices"
 	"sync/atomic"
 )
+
+// This file holds the frontier representations the engines choose
+// between. Three are provided, in increasing order of structure:
+//
+//   - Queue: a single atomic bag. Membership is schedule-independent
+//     whenever the pushed set is; order is racy. The representation of
+//     choice for chaotic kernels that only need a bag (GraphBIG's
+//     asynchronous relaxation).
+//   - ChunkQueue: per-chunk local buffers concatenated in chunk order.
+//     Membership AND order are schedule-independent whenever the
+//     per-chunk item sequences are, so deterministic kernels get a
+//     canonical frontier without sorting.
+//   - Bitmap (bitmap.go): dense membership with atomic set/test and a
+//     parallel ToSlice. The representation for bottom-up traversal and
+//     dense active sets.
 
 // Queue is an atomic frontier queue: a bounded bag that many workers
 // push into concurrently with one fetch-and-add per batch, replacing
 // the mutex-guarded append the engines used before. Membership is
 // schedule-independent whenever the *set* of pushed items is (e.g.
 // first-claim BFS discovery); the order of items is not — callers that
-// need a canonical order sort the slice (SortedQueueSlice) before
-// using it to derive chunk boundaries or outputs.
+// need a canonical order either sort the slice (SortedQueueSlice) or,
+// on a hot path, use a ChunkQueue instead.
 type Queue[T any] struct {
 	buf []T
 	n   atomic.Int64
@@ -25,28 +41,36 @@ func NewQueue[T any](capacity int) *Queue[T] {
 	return &Queue[T]{buf: make([]T, capacity)}
 }
 
-// Push appends one item.
+// Push appends one item. It panics if the queue is full.
 func (q *Queue[T]) Push(v T) {
 	i := q.n.Add(1) - 1
+	if int(i) >= len(q.buf) {
+		panic(fmt.Sprintf("parallel: Queue overflow: capacity %d, pushing 1 item at position %d", len(q.buf), i))
+	}
 	q.buf[i] = v
 }
 
 // PushBatch appends items with a single reservation — the fast path
-// for per-chunk local buffers.
+// for per-chunk local buffers. It panics if the batch does not fit.
 func (q *Queue[T]) PushBatch(items []T) {
 	if len(items) == 0 {
 		return
 	}
 	end := q.n.Add(int64(len(items)))
+	if int(end) > len(q.buf) {
+		panic(fmt.Sprintf("parallel: Queue overflow: capacity %d, pushing %d items at position %d",
+			len(q.buf), len(items), end-int64(len(items))))
+	}
 	copy(q.buf[end-int64(len(items)):end], items)
 }
 
-// Len returns the current item count. Call only between regions.
+// Len returns the current item count. Call only between regions: a
+// concurrent Push makes the count immediately stale.
 func (q *Queue[T]) Len() int { return int(q.n.Load()) }
 
 // Slice returns the pushed items in arrival order (racy order; see
 // type comment). The slice aliases the queue's buffer and is
-// invalidated by Reset.
+// invalidated by Reset. Call only between regions.
 func (q *Queue[T]) Slice() []T { return q.buf[:q.n.Load()] }
 
 // Reset empties the queue, retaining capacity.
@@ -54,9 +78,106 @@ func (q *Queue[T]) Reset() { q.n.Store(0) }
 
 // SortedQueueSlice sorts the queue's contents in place and returns
 // them: the canonical, schedule-independent form of a frontier whose
-// membership is deterministic.
+// membership is deterministic. No kernel hot path uses this anymore —
+// the deterministic frontiers are ChunkQueue and Bitmap, which are
+// canonical by construction — but it remains the simplest way to
+// canonicalize a Queue in tests and one-off tools.
 func SortedQueueSlice[T cmp.Ordered](q *Queue[T]) []T {
 	s := q.Slice()
 	slices.Sort(s)
 	return s
+}
+
+// ChunkQueue collects one local buffer per chunk of a parallel region
+// and concatenates them in chunk index order. Because chunk indices
+// are stable across runs and worker counts (see For), the concatenated
+// sequence is schedule-independent whenever each chunk's buffer is —
+// no sort needed to canonicalize. This is the sliding-queue idiom of
+// the real GAP suite (per-thread buffers flushed into a shared queue),
+// made deterministic by fixing the flush order.
+//
+// Usage per region: Reset(NumChunks(n, grain)), then each chunk body
+// builds its own slice and hands it over with Put(chunk, items)
+// exactly once. Len, Slice, AppendTo and DrainChunkQueue observe the
+// collected items and must only be called between regions (Put and the
+// observers must never overlap).
+type ChunkQueue[T any] struct {
+	bufs [][]T
+	out  []T
+}
+
+// NewChunkQueue returns an empty chunk queue. Reset sizes it.
+func NewChunkQueue[T any]() *ChunkQueue[T] { return &ChunkQueue[T]{} }
+
+// Reset prepares the queue for a region with nchunks chunks,
+// discarding previously collected buffers (capacity is retained).
+func (q *ChunkQueue[T]) Reset(nchunks int) {
+	if cap(q.bufs) < nchunks {
+		q.bufs = make([][]T, nchunks)
+		return
+	}
+	q.bufs = q.bufs[:nchunks]
+	for i := range q.bufs {
+		q.bufs[i] = nil
+	}
+}
+
+// Put stores chunk c's items. Each chunk must call Put at most once
+// per Reset, and the queue takes ownership of items until the next
+// Reset. Distinct chunks write distinct slots, so Put needs no
+// synchronization.
+func (q *ChunkQueue[T]) Put(c int, items []T) { q.bufs[c] = items }
+
+// Len returns the total collected item count. Call only between
+// regions (never concurrently with Put).
+func (q *ChunkQueue[T]) Len() int {
+	n := 0
+	for _, b := range q.bufs {
+		n += len(b)
+	}
+	return n
+}
+
+// Slice returns all items in chunk order. The slice aliases an
+// internal buffer that is reused by the next Slice call — copy it (or
+// use AppendTo) if it must outlive this region. Call only between
+// regions.
+func (q *ChunkQueue[T]) Slice() []T {
+	q.out = q.AppendTo(q.out[:0])
+	return q.out
+}
+
+// AppendTo appends all items in chunk order to dst and returns the
+// extended slice. Call only between regions.
+func (q *ChunkQueue[T]) AppendTo(dst []T) []T {
+	for _, b := range q.bufs {
+		dst = append(dst, b...)
+	}
+	return dst
+}
+
+// DrainChunkQueue maps f over the collected items in chunk order,
+// appending every kept result to dst. It is the filtered concatenation
+// used by the BFS kernels: tentative claims are pushed during the
+// region and the losers are dropped here, once the final write-min
+// values are known. Call only between regions.
+func DrainChunkQueue[T, U any](q *ChunkQueue[T], dst []U, f func(T) (U, bool)) []U {
+	for _, b := range q.bufs {
+		for _, it := range b {
+			if u, ok := f(it); ok {
+				dst = append(dst, u)
+			}
+		}
+	}
+	return dst
+}
+
+// Claim records a tentative BFS discovery: frontier vertex By lowered
+// the write-min parent slot of V. Every call that lowers the slot
+// pushes a claim (LowerMinInt64), so the chunk holding the final
+// minimum always holds a matching claim; draining with the filter
+// "parent[V] == By" keeps exactly that one, making both the membership
+// and the order of the next frontier schedule-independent.
+type Claim struct {
+	V, By uint32
 }

@@ -102,6 +102,26 @@ func WriteMinInt64(addr *int64, v, empty int64) (first bool) {
 	}
 }
 
+// LowerMinInt64 atomically lowers *addr to v, treating the sentinel
+// `empty` as larger than everything. Unlike WriteMinInt64 it returns
+// true whenever THIS call strictly lowered the stored value (the first
+// write included) — which can happen for several callers per address,
+// but always happens for the caller holding the global minimum (no
+// smaller value can beat it to the slot). That guarantee is what lets
+// the ChunkQueue claim protocol push on every lowering and filter to
+// the final minimum afterwards (see Claim).
+func LowerMinInt64(addr *int64, v, empty int64) (lowered bool) {
+	for {
+		old := atomic.LoadInt64(addr)
+		if old != empty && old <= v {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(addr, old, v) {
+			return true
+		}
+	}
+}
+
 // WriteMinUint32 atomically lowers *addr to v. Returns true if the
 // value was lowered by this call.
 func WriteMinUint32(addr *uint32, v uint32) bool {

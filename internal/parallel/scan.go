@@ -1,0 +1,75 @@
+package parallel
+
+// scanSerialCutoff is the length below which ScanInt64 runs serially:
+// the two-pass parallel scan reads and writes every element twice, so
+// short arrays are faster (and allocate nothing) on one goroutine.
+const scanSerialCutoff = 1 << 14
+
+// ScanInt64 replaces xs with its exclusive prefix sum in place
+// (xs[i] becomes the sum of the original xs[0:i]) and returns the
+// total, using up to `workers` workers from the pool. The result is a
+// pure function of the input: the array is split into one contiguous
+// block per worker, block sums are combined serially in block order,
+// and each block is rewritten independently — integer addition is
+// associative, so the block boundaries cannot change the output.
+//
+// This is the merge step of the atomic-free CSR builder (per-worker
+// degree histograms become offsets) and of Bitmap.ToSlice (per-chunk
+// set-bit counts become write cursors).
+func ScanInt64(p *Pool, workers int, xs []int64) int64 {
+	n := len(xs)
+	if workers > n/scanSerialCutoff {
+		workers = n / scanSerialCutoff
+	}
+	if workers <= 1 || p == nil {
+		var run int64
+		for i := range xs {
+			v := xs[i]
+			xs[i] = run
+			run += v
+		}
+		return run
+	}
+
+	// Block boundaries: ceil division keeps every block non-empty for
+	// workers <= n.
+	block := (n + workers - 1) / workers
+	sums := make([]int64, workers)
+	p.Run(workers, func(w int) {
+		lo, hi := blockRange(n, block, w)
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += xs[i]
+		}
+		sums[w] = s
+	})
+	var total int64
+	for w := range sums {
+		s := sums[w]
+		sums[w] = total
+		total += s
+	}
+	p.Run(workers, func(w int) {
+		lo, hi := blockRange(n, block, w)
+		run := sums[w]
+		for i := lo; i < hi; i++ {
+			v := xs[i]
+			xs[i] = run
+			run += v
+		}
+	})
+	return total
+}
+
+// blockRange returns worker w's half-open block of [0, n).
+func blockRange(n, block, w int) (lo, hi int) {
+	lo = w * block
+	hi = lo + block
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -190,5 +191,31 @@ func TestEngineOrdering(t *testing.T) {
 		if keys[i] != want[i] {
 			t.Fatalf("order = %v, want %v", keys, want)
 		}
+	}
+}
+
+func TestSchedStudyCSV(t *testing.T) {
+	rows := []SchedStudyRow{
+		{Kernel: "BFS", Sched: "dynamic", Threads: 8, Workers: 4, ModeledSec: 0.25, WallSec: 0.5},
+		{Kernel: "PR", Sched: "steal", Threads: 72, Workers: 4, ModeledSec: 1.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteSchedStudyCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines, want 3", len(lines))
+	}
+	if lines[0] != SchedStudyCSVHeader {
+		t.Errorf("header %q", lines[0])
+	}
+	if lines[1] != "BFS,dynamic,8,4,0.25,0.5" {
+		t.Errorf("row %q", lines[1])
+	}
+	var tbl bytes.Buffer
+	SchedStudyTable(&tbl, rows)
+	if !strings.Contains(tbl.String(), "steal") {
+		t.Error("table missing policy column")
 	}
 }

@@ -1,0 +1,52 @@
+package report
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// SchedStudyRow is one cell of the scheduling-study table (the
+// ROADMAP's "modeled time vs. policy across thread counts" figure):
+// one kernel run under one scheduling policy at one virtual thread
+// count, with the modeled seconds the figure plots and the wall-clock
+// seconds this host happened to take (0 when not measured). Comparing
+// the dynamic column against steal across the thread axis quantifies
+// where the shared-counter policy serializes and stealing recovers.
+type SchedStudyRow struct {
+	Kernel     string
+	Sched      string
+	Threads    int
+	Workers    int
+	ModeledSec float64
+	WallSec    float64
+}
+
+// SchedStudyCSVHeader is the column layout of WriteSchedStudyCSV.
+const SchedStudyCSVHeader = "kernel,sched,threads,workers,modeled_s,wall_s"
+
+// WriteSchedStudyCSV writes the scheduling-study table as CSV for
+// external plotting, one row per (kernel, policy, thread count).
+func WriteSchedStudyCSV(w io.Writer, rows []SchedStudyRow) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, SchedStudyCSVHeader)
+	for _, r := range rows {
+		fmt.Fprintf(bw, "%s,%s,%d,%d,%.9g,%.9g\n",
+			r.Kernel, r.Sched, r.Threads, r.Workers, r.ModeledSec, r.WallSec)
+	}
+	return bw.Flush()
+}
+
+// SchedStudyTable renders the same rows as an aligned text table, the
+// quick-look companion to the CSV.
+func SchedStudyTable(w io.Writer, rows []SchedStudyRow) {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Kernel, r.Sched, fmt.Sprint(r.Threads),
+			FormatSeconds(r.ModeledSec), FormatSeconds(r.WallSec),
+		})
+	}
+	Table(w, "Scheduling study: modeled seconds by policy and thread count",
+		[]string{"kernel", "sched", "threads", "modeled_s", "wall_s"}, out)
+}

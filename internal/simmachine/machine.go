@@ -141,6 +141,12 @@ func (m *Machine) SetWorkers(k int) {
 // Model returns the machine's cost model.
 func (m *Machine) Model() Model { return m.model }
 
+// Pool returns the worker pool region bodies execute on, for kernels
+// that drive parallel primitives directly (Bitmap.ToSlice, BuildCSR)
+// and charge the modeled cost separately via ChargeSerial or
+// ChargeUniform.
+func (m *Machine) Pool() *parallel.Pool { return m.pool }
+
 // SetSchedOverride forces every subsequent parallel region onto
 // policy s, overriding the engine's per-region choice. This is the
 // Spec.Sched knob: it changes both the real chunk assignment and the
@@ -281,6 +287,42 @@ func (m *Machine) ParallelForChunks(n, grain int, sched Sched, body func(lo, hi,
 	m.commitRegion(costs, sched)
 }
 
+// ChargeSerial records a serial region of exactly cost c without
+// executing anything: the accounting half of work whose real execution
+// happened outside a region (a frontier drain, a queue concatenation).
+// Pairing real work done through internal/parallel with an explicit
+// deterministic charge keeps modeled durations bit-identical across
+// workers and policies — the charge is a pure function of c.
+func (m *Machine) ChargeSerial(c Cost) {
+	m.Serial(func(w *W) { w.Charge(c) })
+}
+
+// ChargeUniform records a parallel region of n items in chunks of the
+// given grain, each item costing `per`, without executing a body. It
+// models uniform sweeps (bitmap scans, frontier-to-bitmap conversions)
+// whose real execution ran through internal/parallel primitives; the
+// virtual lanes are loaded by the same policy rules as
+// ParallelForChunks, so the modeled duration is a pure function of
+// (n, grain, sched, per).
+func (m *Machine) ChargeUniform(n, grain int, sched Sched, per Cost) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	costs := make([]Cost, parallel.NumChunks(n, grain))
+	for c := range costs {
+		lo := c * grain
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		costs[c] = per.Scale(float64(hi - lo))
+	}
+	m.commitRegion(costs, m.effSched(sched))
+}
+
 // ForEachThread runs one body per virtual thread, passing the thread
 // ID in [0, Threads()). It models OpenMP parallel regions where each
 // thread owns local state (e.g., per-thread frontier queues). Bodies
@@ -311,6 +353,12 @@ func (m *Machine) commitRegion(costs []Cost, sched Sched) {
 	case Dynamic:
 		// Greedy least-loaded in chunk order. Track lane "load" in
 		// cycles-equivalents (atomics folded at uncontended cost).
+		// Every chunk claim is one fetch-and-add on the shared counter,
+		// charged to the claiming lane: with more than one lane the
+		// counter line bounces, and commitLanes prices each atomic at
+		// AtomicCycles plus contention scaling with the active lane
+		// count — the serialization the scheduling study quantifies
+		// (work stealing pays this only per successful steal).
 		loads := make([]float64, t)
 		for _, c := range costs {
 			best := 0
@@ -318,6 +366,9 @@ func (m *Machine) commitRegion(costs []Cost, sched Sched) {
 				if loads[l] < loads[best] {
 					best = l
 				}
+			}
+			if t > 1 {
+				c.Atomics++
 			}
 			lanes[best].Add(c)
 			loads[best] += laneLoad(c, &m.model)

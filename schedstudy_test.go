@@ -1,0 +1,103 @@
+// Scheduling-study artifact: the ROADMAP's "modeled time vs. policy
+// across thread counts" figure. Gated behind EPG_WRITE_SCHEDFIG=1 (it
+// is a measurement, not a correctness check); run via `make benchfig`,
+// which writes FIG_sched_study.csv. The dynamic column grows with the
+// thread count as the greedy shared-counter assignment loses to lane
+// contention; the steal column tracks static until imbalance appears,
+// then recovers it — the same story the paper tells about OpenMP
+// schedule(dynamic) vs. Cilk-style runtimes.
+package epg_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/engines/gap"
+	"github.com/hpcl-repro/epg/internal/report"
+	"github.com/hpcl-repro/epg/internal/simmachine"
+)
+
+// schedStudyThreads is the virtual-thread axis (the paper's Fig. 5/6
+// x-axis, plus the 72-thread full machine).
+var schedStudyThreads = []int{1, 2, 4, 8, 16, 32, 64, 72}
+
+var schedStudyPolicies = []struct {
+	name  string
+	sched simmachine.Sched
+}{
+	{"static", simmachine.Static},
+	{"dynamic", simmachine.Dynamic},
+	{"steal", simmachine.Steal},
+}
+
+func TestWriteSchedStudy(t *testing.T) {
+	if os.Getenv("EPG_WRITE_SCHEDFIG") == "" {
+		t.Skip("set EPG_WRITE_SCHEDFIG=1 to rewrite FIG_sched_study.csv")
+	}
+	el, err := harnessDataset(kronName())
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := tuneRootsFor(el, 1)
+	root := roots[0]
+
+	var rows []report.SchedStudyRow
+	for _, kernel := range []string{"BFS", "PR"} {
+		for _, pol := range schedStudyPolicies {
+			for _, threads := range schedStudyThreads {
+				m := simmachine.New(simmachine.Haswell72(), threads)
+				m.SetSchedOverride(pol.sched)
+				m.SetTracing(false)
+				instAny, err := gap.New().Load(el, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inst := instAny.(*gap.Instance)
+				inst.BuildStructure()
+				m.Reset()
+				run := func() error {
+					if kernel == "BFS" {
+						_, err := inst.BFS(root)
+						return err
+					}
+					_, err := inst.PageRank(engines.DefaultPROpts())
+					return err
+				}
+				start := time.Now()
+				if err := run(); err != nil {
+					t.Fatal(err)
+				}
+				rows = append(rows, report.SchedStudyRow{
+					Kernel:     kernel,
+					Sched:      pol.name,
+					Threads:    threads,
+					Workers:    m.Workers(),
+					ModeledSec: m.Elapsed(),
+					WallSec:    time.Since(start).Seconds(),
+				})
+			}
+		}
+	}
+
+	f, err := os.Create("FIG_sched_study.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := report.WriteSchedStudyCSV(f, rows); err != nil {
+		t.Fatal(err)
+	}
+	var tbl testWriter = func(p []byte) (int, error) {
+		t.Logf("%s", p)
+		return len(p), nil
+	}
+	report.SchedStudyTable(tbl, rows)
+	t.Logf("wrote FIG_sched_study.csv (%d rows, dataset %s)", len(rows), kronName())
+}
+
+// testWriter adapts t.Logf to io.Writer for the quick-look table.
+type testWriter func(p []byte) (int, error)
+
+func (w testWriter) Write(p []byte) (int, error) { return w(p) }
