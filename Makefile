@@ -1,13 +1,20 @@
 # Lightweight CI for the epg reproduction. `make test` is the tier-1
 # gate; `make race` is the concurrency wall over the parallel runtime,
-# the graph builders, and every engine kernel; `make bench` regenerates
+# the graph builders, and every engine kernel; `make fuzz` runs the
+# property-fuzz targets for FUZZTIME each; `make bench` regenerates
 # the paper's tables and figures once; `make baseline` rewrites
 # BENCH_baseline.json; `make benchfig` rewrites the scheduling-study
-# CSV (FIG_sched_study.csv).
+# CSV (FIG_sched_study.csv, policy x threads x sockets).
 
 GO ?= go
+FUZZTIME ?= 20s
+# Dataset scale for the scheduling-study figure. 17 gives GAP's
+# PageRank regions enough chunks (32 at the 4096 grain) that the steal
+# policies actually steal at the 16- and 32-thread points — the regime
+# where the locality columns separate.
+SCHEDFIG_SCALE ?= 17
 
-.PHONY: all build test race race-full bench baseline benchfig speedup-floor big-conformance vet
+.PHONY: all build test race race-full fuzz bench baseline benchfig speedup-floor big-conformance numa-sweep vet
 
 all: test race
 
@@ -23,6 +30,11 @@ race:
 race-full:
 	$(GO) test -race ./...
 
+fuzz:
+	$(GO) test -fuzz '^FuzzScanInt64$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/parallel/
+	$(GO) test -fuzz '^FuzzBitmapToSlice$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/parallel/
+	$(GO) test -fuzz '^FuzzChunkQueueDrain$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/parallel/
+
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
 
@@ -30,13 +42,16 @@ baseline:
 	EPG_WRITE_BASELINE=1 $(GO) test -run TestWriteBenchBaseline -v .
 
 benchfig:
-	EPG_WRITE_SCHEDFIG=1 $(GO) test -run TestWriteSchedStudy -v .
+	EPG_WRITE_SCHEDFIG=1 EPG_BENCH_SCALE=$(SCHEDFIG_SCALE) $(GO) test -run TestWriteSchedStudy -v -timeout 30m .
 
 speedup-floor:
 	EPG_SPEEDUP_FLOOR=1 $(GO) test -run TestSpeedupFloor -v .
 
 big-conformance:
 	EPG_BIG_CONFORMANCE=1 $(GO) test -run TestBigConformance -v -timeout 60m ./internal/engines/all/
+
+numa-sweep:
+	EPG_NUMA_SWEEP=1 $(GO) test -run TestBigNUMASweep -v -timeout 60m ./internal/engines/all/
 
 vet:
 	$(GO) vet ./...

@@ -143,7 +143,9 @@ func cmdRun(args []string) error {
 	measurePower := fs.Bool("power", false, "meter power per root (Table III, Fig. 9)")
 	divisor := fs.Int("divisor", 64, "real-world dataset scale divisor")
 	seed := fs.Uint64("seed", 1, "seed")
-	sched := fs.String("sched", "", "force a scheduling policy on every region (static, dynamic, steal)")
+	sched := fs.String("sched", "", "force a scheduling policy on every region (static, dynamic, steal, numa)")
+	sockets := fs.Int("sockets", 0, "virtual socket count for the locality model (0 = one socket, no penalties)")
+	remotePenalty := fs.Float64("remote-penalty", 0, "remote-chunk-access bytes multiplier (0 = model default)")
 	syncSSSP := fs.Bool("sync-sssp", false, "synchronous deterministic SSSP in GAP and GraphBIG")
 	fs.Parse(args)
 
@@ -153,14 +155,16 @@ func cmdRun(args []string) error {
 		return err
 	}
 	spec := epg.Spec{
-		Dataset:      *dataset,
-		Algorithm:    epg.Algorithm(*alg),
-		Threads:      *threads,
-		Roots:        *roots,
-		Seed:         *seed,
-		MeasurePower: *measurePower,
-		Sched:        *sched,
-		SyncSSSP:     *syncSSSP,
+		Dataset:       *dataset,
+		Algorithm:     epg.Algorithm(*alg),
+		Threads:       *threads,
+		Roots:         *roots,
+		Seed:          *seed,
+		MeasurePower:  *measurePower,
+		Sched:         *sched,
+		Sockets:       *sockets,
+		RemotePenalty: *remotePenalty,
+		SyncSSSP:      *syncSSSP,
 	}
 	if *enginesFlag != "" {
 		spec.Engines = strings.Split(*enginesFlag, ",")

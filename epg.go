@@ -61,11 +61,15 @@ type Spec = core.Spec
 // each engine's own per-region policy — the paper's configuration;
 // the others force one policy onto every parallel region, changing
 // both real execution and the modeled virtual-lane accounting.
+// SchedNUMA is two-level (socket-aware) work stealing; pair it with
+// Spec.Sockets (and optionally Spec.RemotePenalty) to make the
+// locality model charge cross-socket steals.
 const (
 	SchedAuto    = core.SchedAuto
 	SchedStatic  = core.SchedStatic
 	SchedDynamic = core.SchedDynamic
 	SchedSteal   = core.SchedSteal
+	SchedNUMA    = core.SchedNUMA
 )
 
 // Result is one measured run with its phase breakdown.

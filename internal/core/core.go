@@ -57,12 +57,27 @@ type Spec struct {
 	// MeasurePower enables RAPL-style metering per root.
 	MeasurePower bool
 	// Sched overrides the scheduling policy of every parallel region
-	// (SchedStatic, SchedDynamic, or SchedSteal). Empty (SchedAuto)
-	// keeps each engine's own per-region choice — the paper's
-	// configuration, where e.g. Graph500 is static and GAP dynamic.
-	// The override changes both the real chunk assignment and the
-	// modeled virtual-lane accounting.
+	// (SchedStatic, SchedDynamic, SchedSteal, or SchedNUMA). Empty
+	// (SchedAuto) keeps each engine's own per-region choice — the
+	// paper's configuration, where e.g. Graph500 is static and GAP
+	// dynamic. The override changes both the real chunk assignment
+	// and the modeled virtual-lane accounting.
 	Sched string
+	// Sockets is the virtual socket count of the locality model: the
+	// steal simulation charges remote-steal and remote-chunk-access
+	// penalties whenever a lane takes a chunk homed on another
+	// socket's block of lanes, and the real work-stealing executor
+	// uses the same count for its two-level victim order. 0 keeps one
+	// virtual socket — no locality penalties, so SchedSteal retains
+	// its historical durations and SchedNUMA coincides with it — and
+	// lets the real executor derive a topology from GOMAXPROCS.
+	Sockets int
+	// RemotePenalty overrides the modeled remote-chunk-access
+	// multiplier (the factor on a chunk's DRAM bytes when executed
+	// off its home socket). 0 keeps the machine model's default;
+	// values in (0, 1) are rejected — remote memory is never faster
+	// than local.
+	RemotePenalty float64
 	// SyncSSSP switches GAP's delta-stepping and GraphBIG's
 	// relaxation to their synchronous bucket/round-barrier modes,
 	// making their parents, relaxation counts, and modeled durations
@@ -83,6 +98,12 @@ const (
 	// SchedSteal forces the work-stealing scheduler (per-worker
 	// Chase–Lev deques with randomized victim selection).
 	SchedSteal = "steal"
+	// SchedNUMA forces the two-level (socket-aware) work-stealing
+	// scheduler: same-socket victims are swept before remote ones,
+	// and the locality model (Spec.Sockets, Spec.RemotePenalty)
+	// charges cross-socket steals. With Sockets <= 1 it is
+	// byte-identical to SchedSteal.
+	SchedNUMA = "numa"
 )
 
 // NumRoots returns the effective root count.
@@ -105,10 +126,16 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("core: spec needs threads >= 1, got %d", s.Threads)
 	}
 	switch s.Sched {
-	case SchedAuto, SchedStatic, SchedDynamic, SchedSteal:
+	case SchedAuto, SchedStatic, SchedDynamic, SchedSteal, SchedNUMA:
 	default:
-		return fmt.Errorf("core: unknown scheduling policy %q (want %q, %q or %q)",
-			s.Sched, SchedStatic, SchedDynamic, SchedSteal)
+		return fmt.Errorf("core: unknown scheduling policy %q (want %q, %q, %q or %q)",
+			s.Sched, SchedStatic, SchedDynamic, SchedSteal, SchedNUMA)
+	}
+	if s.Sockets < 0 {
+		return fmt.Errorf("core: spec needs sockets >= 0, got %d", s.Sockets)
+	}
+	if s.RemotePenalty != 0 && s.RemotePenalty < 1 {
+		return fmt.Errorf("core: remote penalty must be 0 (model default) or >= 1, got %g", s.RemotePenalty)
 	}
 	return nil
 }

@@ -21,6 +21,8 @@ package all
 
 import (
 	"math"
+	"os"
+	"slices"
 	"testing"
 
 	"github.com/hpcl-repro/epg/internal/core"
@@ -48,6 +50,7 @@ type runOpts struct {
 	syncSSSP bool             // enable the synchronous SSSP modes
 	sched    simmachine.Sched // machine-wide policy override
 	override bool             // apply sched
+	sockets  int              // virtual sockets for the locality model (0 = default)
 }
 
 func runKernel(t *testing.T, name string, alg engines.Algorithm, el *graph.EdgeList, root graph.VID, workers int) kernelRun {
@@ -70,6 +73,9 @@ func runKernelOpts(t *testing.T, name string, alg engines.Algorithm, el *graph.E
 	m.SetWorkers(workers)
 	if opts.override {
 		m.SetSchedOverride(opts.sched)
+	}
+	if opts.sockets > 0 {
+		m.SetSockets(opts.sockets)
 	}
 	inst, err := eng.Load(el, m)
 	if err != nil {
@@ -382,5 +388,179 @@ func TestSpecSchedKnobEndToEnd(t *testing.T) {
 	bad.Sched = "fifo"
 	if _, err := r.Run(bad, el); err == nil {
 		t.Error("unknown scheduling policy accepted")
+	}
+}
+
+// TestSchedNUMADeterministicAllKernels is the two-level work-stealing
+// wall: under the NUMA policy override (with synchronous SSSP, so
+// every engine qualifies) all six kernels produce bit-identical
+// outputs and modeled durations across runs and worker counts at
+// every socket count — and the *outputs* are additionally identical
+// across socket counts, since the locality model may only move
+// modeled time, never results.
+func TestSchedNUMADeterministicAllKernels(t *testing.T) {
+	el, root := determinismGraph()
+	for _, alg := range engines.AllAlgorithms {
+		t.Run(string(alg), func(t *testing.T) {
+			for _, name := range Names {
+				eng, err := Registry().New(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !eng.Has(alg) {
+					continue
+				}
+				t.Run(name, func(t *testing.T) {
+					var acrossSockets any
+					for _, sockets := range []int{1, 2, 4} {
+						opts := runOpts{syncSSSP: true, sched: simmachine.NUMA, override: true, sockets: sockets}
+						base := runKernelOpts(t, name, alg, el, root, workerCounts[0], opts)
+						if acrossSockets == nil {
+							acrossSockets = base.out
+						} else {
+							sameOutputs(t, "numa outputs across sockets", acrossSockets, base.out)
+						}
+						for _, workers := range workerCounts {
+							got := runKernelOpts(t, name, alg, el, root, workers, opts)
+							sameOutputs(t, "numa", base.out, got.out)
+							sameDurations(t, "numa", base, got)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestNUMASocketsOneMatchesSteal: with one virtual socket the NUMA
+// policy must be byte-identical to plain Steal — outputs AND modeled
+// durations — for every kernel and engine. This pins the contract
+// that the locality model is a strict extension: it only diverges
+// when Spec.Sockets asks for more than one socket.
+func TestNUMASocketsOneMatchesSteal(t *testing.T) {
+	el, root := determinismGraph()
+	for _, alg := range engines.AllAlgorithms {
+		t.Run(string(alg), func(t *testing.T) {
+			for _, name := range Names {
+				eng, err := Registry().New(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !eng.Has(alg) {
+					continue
+				}
+				t.Run(name, func(t *testing.T) {
+					steal := runKernelOpts(t, name, alg, el, root, 2,
+						runOpts{syncSSSP: true, sched: simmachine.Steal, override: true})
+					numa := runKernelOpts(t, name, alg, el, root, 2,
+						runOpts{syncSSSP: true, sched: simmachine.NUMA, override: true, sockets: 1})
+					sameOutputs(t, "numa vs steal", steal.out, numa.out)
+					sameDurations(t, "numa vs steal", steal, numa)
+				})
+			}
+		})
+	}
+}
+
+// TestSpecNUMAKnobEndToEnd drives the harness with the locality
+// knobs: per-trial modeled measurements under Sched="numa" must be
+// identical across worker counts at every socket count; Spec.Sockets
+// must reach the steal simulation (sockets=4 changes at least one
+// trial's modeled seconds relative to sockets=1 — the cross-socket
+// penalty is live end-to-end); and malformed specs are rejected.
+// (The RemotePenalty *byte* multiplier only moves durations on
+// memory-bound regions, which these small-graph kernels are not; its
+// effect is pinned at the machine layer by
+// simmachine.TestSetRemotePenaltyOverridesModel, and here we assert
+// the knob keeps worker-independence and changes nothing at
+// sockets=1.)
+func TestSpecNUMAKnobEndToEnd(t *testing.T) {
+	el := kronecker.Generate(kronecker.Params{Scale: 9, Seed: 7})
+	r := harness.NewRunner(Registry())
+	run := func(workers, sockets int, remotePenalty float64) []float64 {
+		spec := coreSpec(engines.SSSP, workers)
+		spec.Sched = core.SchedNUMA
+		spec.SyncSSSP = true
+		spec.Sockets = sockets
+		spec.RemotePenalty = remotePenalty
+		rs, err := r.Run(spec, el)
+		if err != nil {
+			t.Fatal(err)
+		}
+		secs := make([]float64, len(rs))
+		for i, res := range rs {
+			secs[i] = res.AlgorithmSec
+		}
+		return secs
+	}
+	perSocket := map[int][]float64{}
+	for _, sockets := range []int{1, 2, 4} {
+		base := run(1, sockets, 0)
+		perSocket[sockets] = base
+		for _, workers := range []int{2, 4} {
+			sameFloat64sBitwise(t, "numa spec seconds", base, run(workers, sockets, 0))
+		}
+	}
+	// Spec.Sockets must actually reach the simulation: at 4 sockets
+	// some steals cross and their CAS penalties shift modeled time.
+	if slices.Equal(perSocket[1], perSocket[4]) {
+		t.Error("sockets=4 modeled seconds identical to sockets=1: Spec.Sockets not reaching the steal simulation")
+	}
+	// The penalty knob must stay worker-independent, and with one
+	// socket there is nothing remote for it to scale.
+	stiff := run(1, 4, 3)
+	sameFloat64sBitwise(t, "stiff penalty seconds", stiff, run(4, 4, 3))
+	sameFloat64sBitwise(t, "penalty at one socket", perSocket[1], run(1, 1, 3))
+
+	bad := coreSpec(engines.BFS, 1)
+	bad.Sockets = -1
+	if _, err := r.Run(bad, el); err == nil {
+		t.Error("negative socket count accepted")
+	}
+	bad = coreSpec(engines.BFS, 1)
+	bad.RemotePenalty = 0.5
+	if _, err := r.Run(bad, el); err == nil {
+		t.Error("sub-unity remote penalty accepted")
+	}
+}
+
+// TestBigNUMASweep is the long locality sweep, gated like the kron-18
+// conformance wall (a measurement-grade run, not a tier-1 gate): a
+// larger graph, more worker counts, repeated runs. Run via
+// `make numa-sweep`.
+func TestBigNUMASweep(t *testing.T) {
+	if os.Getenv("EPG_NUMA_SWEEP") == "" {
+		t.Skip("set EPG_NUMA_SWEEP=1 (make numa-sweep) to run the long NUMA determinism sweep")
+	}
+	el := kronecker.Generate(kronecker.Params{Scale: 12, Seed: 42})
+	root := graph.VID(2)
+	for _, alg := range engines.AllAlgorithms {
+		for _, name := range Names {
+			eng, err := Registry().New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eng.Has(alg) {
+				continue
+			}
+			if alg == engines.LCC {
+				// Quadratic in hub degree at this scale; covered by
+				// the tier-1 wall on the smaller graph.
+				continue
+			}
+			t.Run(string(alg)+"/"+name, func(t *testing.T) {
+				for _, sockets := range []int{1, 2, 4} {
+					opts := runOpts{syncSSSP: true, sched: simmachine.NUMA, override: true, sockets: sockets}
+					base := runKernelOpts(t, name, alg, el, root, 1, opts)
+					for _, workers := range []int{1, 2, 4, 8} {
+						for rep := 0; rep < 2; rep++ {
+							got := runKernelOpts(t, name, alg, el, root, workers, opts)
+							sameOutputs(t, "big numa", base.out, got.out)
+							sameDurations(t, "big numa", base, got)
+						}
+					}
+				}
+			})
+		}
 	}
 }

@@ -114,6 +114,14 @@ func (r *Runner) runEngine(spec core.Spec, el *graph.EdgeList, name string, root
 		m.SetSchedOverride(simmachine.Dynamic)
 	case core.SchedSteal:
 		m.SetSchedOverride(simmachine.Steal)
+	case core.SchedNUMA:
+		m.SetSchedOverride(simmachine.NUMA)
+	}
+	if spec.Sockets > 0 {
+		m.SetSockets(spec.Sockets)
+	}
+	if spec.RemotePenalty > 0 {
+		m.SetRemotePenalty(spec.RemotePenalty)
 	}
 
 	var fileReadSec, constructionSec float64

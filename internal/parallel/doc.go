@@ -1,12 +1,12 @@
 // Package parallel is the shared parallel-primitives runtime that all
 // five engine analogues execute on: a reusable worker pool, a chunked
-// ParallelFor with the simmachine's three scheduling policies,
+// ParallelFor with the simmachine's four scheduling policies,
 // deterministic reducers, per-worker counters, write-min atomics, a
 // parallel prefix sum, and three frontier representations.
 //
 // # Scheduling policies
 //
-// For assigns chunk indices to real workers under one of three
+// For assigns chunk indices to real workers under one of four
 // policies, mirroring simmachine.Sched so engines use one policy for
 // both real execution and virtual-lane cost accounting:
 //
@@ -22,6 +22,12 @@
 //     work remains) and idle workers steal from victims chosen by a
 //     per-region seeded RNG. This is the Cilk/TBB discipline that
 //     work-stealing runtimes use to make graph kernels scale.
+//   - NUMA: Steal with two-level victim selection over a socket
+//     Topology (consecutive worker blocks): idle workers probe and
+//     sweep same-socket victims before touching a remote socket, so
+//     chunks tend to stay on the socket of their static owner. With
+//     one socket it is exactly Steal. ForTopo takes the topology
+//     explicitly; For uses the GOMAXPROCS-derived DefaultTopology.
 //
 // # Frontier representations
 //

@@ -40,7 +40,7 @@ func TestChunkQueueMatchesSortedQueue(t *testing.T) {
 	slices.Sort(wantSorted)
 
 	cq := NewChunkQueue[uint32]()
-	for _, sched := range []Sched{Static, Dynamic, Steal} {
+	for _, sched := range []Sched{Static, Dynamic, Steal, NUMA} {
 		for _, workers := range []int{1, 2, 4, 9} {
 			cq.Reset(nchunks)
 			q := NewQueue[uint32](len(want))
@@ -179,7 +179,7 @@ func TestScanInt64MatchesSerial(t *testing.T) {
 func TestBitmapRace(t *testing.T) {
 	p := NewPool(8)
 	const n = 10000
-	for _, sched := range []Sched{Static, Dynamic, Steal} {
+	for _, sched := range []Sched{Static, Dynamic, Steal, NUMA} {
 		b := NewBitmap(n)
 		For(p, 8, n, 64, sched, func(lo, hi, chunk, worker int) {
 			for i := lo; i < hi; i++ {
@@ -237,7 +237,7 @@ func TestBitmapClearRange(t *testing.T) {
 	for i := 0; i < n; i++ {
 		b.Set(i)
 	}
-	b.ClearRange(10, 75)  // crosses a word boundary with partial ends
+	b.ClearRange(10, 75)   // crosses a word boundary with partial ends
 	b.ClearRange(130, 140) // within one word
 	b.ClearRange(192, 300) // aligned start, slice end
 	for i := 0; i < n; i++ {

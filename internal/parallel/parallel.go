@@ -26,6 +26,13 @@ const (
 	// shared-counter serialization of Dynamic disappears: the only
 	// cross-worker traffic is the occasional steal CAS.
 	Steal
+	// NUMA is Steal with two-level (socket-aware) victim selection:
+	// idle workers sweep same-socket victims before probing remote
+	// sockets, so chunks tend to stay on the socket of their static
+	// owner. The socket layout comes from the Topology handed to
+	// ForTopo (For uses DefaultTopology); with one socket the
+	// discipline is exactly Steal.
+	NUMA
 )
 
 // task is one dispatch to a pooled worker goroutine.
@@ -167,6 +174,13 @@ func NumChunks(n, grain int) int {
 // and the real worker ID (for per-worker scratch; never use it to key
 // results that must be deterministic).
 func For(p *Pool, workers, n, grain int, sched Sched, body func(lo, hi, chunk, worker int)) {
+	ForTopo(p, workers, n, grain, sched, Topology{}, body)
+}
+
+// ForTopo is For with an explicit socket topology for the NUMA policy
+// (the other policies ignore it). The zero Topology resolves to
+// DefaultTopology.
+func ForTopo(p *Pool, workers, n, grain int, sched Sched, topo Topology, body func(lo, hi, chunk, worker int)) {
 	nchunks := NumChunks(n, grain)
 	if nchunks == 0 {
 		return
@@ -197,6 +211,8 @@ func For(p *Pool, workers, n, grain int, sched Sched, body func(lo, hi, chunk, w
 		})
 	case Steal:
 		forSteal(p, workers, nchunks, runChunk)
+	case NUMA:
+		forStealTopo(p, workers, nchunks, topo, runChunk)
 	default: // Dynamic
 		var next atomic.Int64
 		p.Run(workers, func(worker int) {
@@ -235,21 +251,7 @@ func StealSeed(nchunks, consumers int) uint64 {
 // finish them before returning from this region (Run waits on every
 // worker), so the idle worker can exit instead of spinning.
 func forSteal(p *Pool, workers, nchunks int, runChunk func(c, worker int)) {
-	deques := make([]*Deque, workers)
-	per := (nchunks + workers - 1) / workers
-	for w := range deques {
-		deques[w] = NewDeque(per)
-	}
-	for w := 0; w < workers; w++ {
-		last := w + ((nchunks-1-w)/workers)*workers
-		for c := last; c >= 0; c -= workers {
-			if !deques[w].PushBottom(int64(c)) {
-				// Capacity is sized for exactly this prefill; a failed
-				// push would silently drop a chunk.
-				panic("parallel: steal deque prefill overflow")
-			}
-		}
-	}
+	deques := prefillDeques(workers, nchunks)
 	seed := StealSeed(nchunks, workers)
 	p.Run(workers, func(worker int) {
 		rng := xrand.New(seed ^ xrand.Mix64(uint64(worker)+1))

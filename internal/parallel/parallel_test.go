@@ -39,7 +39,7 @@ func TestRunReusesWorkers(t *testing.T) {
 
 func TestForCoversAllIndices(t *testing.T) {
 	p := NewPool(8)
-	for _, sched := range []Sched{Static, Dynamic, Steal} {
+	for _, sched := range []Sched{Static, Dynamic, Steal, NUMA} {
 		for _, workers := range []int{1, 3, 8} {
 			seen := make([]int32, 1000)
 			For(p, workers, 1000, 16, sched, func(lo, hi, chunk, worker int) {
@@ -62,7 +62,7 @@ func TestForChunkIndicesStable(t *testing.T) {
 	// the schedule or worker count.
 	n, grain := 997, 13
 	for _, workers := range []int{1, 2, 7} {
-		for _, sched := range []Sched{Static, Dynamic, Steal} {
+		for _, sched := range []Sched{Static, Dynamic, Steal, NUMA} {
 			For(p, workers, n, grain, sched, func(lo, hi, chunk, worker int) {
 				if lo != chunk*grain {
 					t.Errorf("chunk %d starts at %d, want %d", chunk, lo, chunk*grain)
@@ -113,7 +113,7 @@ func TestReducerDeterministicFloatSum(t *testing.T) {
 	}
 	want := run(1, Static)
 	for _, workers := range []int{1, 2, 4, 9} {
-		for _, sched := range []Sched{Static, Dynamic, Steal} {
+		for _, sched := range []Sched{Static, Dynamic, Steal, NUMA} {
 			if got := run(workers, sched); got != want {
 				t.Fatalf("workers=%d sched=%v: sum %x differs from %x",
 					workers, sched, math.Float64bits(got), math.Float64bits(want))

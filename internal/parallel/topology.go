@@ -1,0 +1,190 @@
+package parallel
+
+import (
+	"runtime"
+
+	"github.com/hpcl-repro/epg/internal/xrand"
+)
+
+// Topology describes the socket layout the work-stealing scheduler
+// places workers and chunks onto: `Sockets` groups of
+// ceil(workers/Sockets) consecutive worker IDs. Chunk affinity follows
+// the static owner — chunk c belongs to worker c % workers, and
+// therefore to that worker's socket — so a topology-aware thief that
+// prefers same-socket victims also prefers chunks whose data its
+// socket already touched during the prefill.
+//
+// The zero Topology means "unspecified" and resolves to
+// DefaultTopology where a concrete layout is needed. Nothing
+// observable depends on the real topology: outputs key off chunk
+// indices and modeled durations off the simmachine's own virtual
+// topology (Spec.Sockets), so the real layout only shifts wall-clock
+// time.
+type Topology struct {
+	// Sockets is the socket count; values below 1 (including the
+	// zero Topology) resolve to DefaultTopology.
+	Sockets int
+}
+
+// DefaultTopology guesses a socket layout from GOMAXPROCS: one socket
+// per 16 hardware threads, capped at 4. Laptops and CI containers get
+// a single socket (two-level stealing degenerates to flat stealing);
+// large hosts get the cross-socket victim ordering.
+func DefaultTopology() Topology {
+	s := (runtime.GOMAXPROCS(0) + 15) / 16
+	if s < 1 {
+		s = 1
+	}
+	if s > 4 {
+		s = 4
+	}
+	return Topology{Sockets: s}
+}
+
+// resolve clamps the topology to a concrete socket count in
+// [1, workers], applying the GOMAXPROCS default when unspecified.
+func (t Topology) resolve(workers int) int {
+	s := t.Sockets
+	if s < 1 {
+		s = DefaultTopology().Sockets
+	}
+	if s > workers {
+		s = workers
+	}
+	return s
+}
+
+// workersPerSocket returns the size of each consecutive worker block
+// for the given total, for a resolved socket count s.
+func workersPerSocket(workers, s int) int {
+	return (workers + s - 1) / s
+}
+
+// socketOf returns the socket of the given worker under this topology
+// when `workers` workers participate. forStealTopo inlines the same
+// worker/per arithmetic after resolving the topology once — keep the
+// two in sync.
+func (t Topology) socketOf(worker, workers int) int {
+	s := t.resolve(workers)
+	return worker / workersPerSocket(workers, s)
+}
+
+// forStealTopo executes the chunks under two-level (socket-aware) work
+// stealing. The deque prefill is identical to forSteal — worker w owns
+// chunks w, w+workers, ... — but an idle worker empties its own socket
+// first: randomized probes over same-socket victims, then a
+// deterministic same-socket sweep, and only when the whole socket is
+// dry does it probe and sweep remote sockets. With one socket every
+// victim is local and the discipline is exactly forSteal's.
+//
+// Termination mirrors forSteal: nothing is pushed after the prefill,
+// so when the final deterministic sweep (which covers every other
+// deque, local and remote) comes up empty, every chunk has been
+// claimed and the idle worker may exit.
+func forStealTopo(p *Pool, workers, nchunks int, topo Topology, runChunk func(c, worker int)) {
+	sockets := topo.resolve(workers)
+	if sockets <= 1 {
+		forSteal(p, workers, nchunks, runChunk)
+		return
+	}
+	per := workersPerSocket(workers, sockets)
+	deques := prefillDeques(workers, nchunks)
+	seed := StealSeed(nchunks, workers)
+	p.Run(workers, func(worker int) {
+		rng := xrand.New(seed ^ xrand.Mix64(uint64(worker)+1))
+		own := deques[worker]
+		mySocket := worker / per
+		for {
+			if c, ok := own.PopBottom(); ok {
+				runChunk(int(c), worker)
+				continue
+			}
+			// Level 1: same-socket victims — randomized probes, then a
+			// deterministic sweep, so the thief crosses the
+			// interconnect only once its whole socket is dry (deques
+			// only shrink after the prefill, so an empty local sweep
+			// stays empty).
+			stole := false
+			for tries := 0; tries < workers; tries++ {
+				v := int(rng.Uint64() % uint64(workers))
+				if v == worker || v/per != mySocket {
+					continue
+				}
+				if c, ok := deques[v].Steal(); ok {
+					runChunk(int(c), worker)
+					stole = true
+					break
+				}
+			}
+			if !stole {
+				for off := 1; off < workers; off++ {
+					v := (worker + off) % workers
+					if v/per != mySocket {
+						continue
+					}
+					if c, ok := deques[v].Steal(); ok {
+						runChunk(int(c), worker)
+						stole = true
+						break
+					}
+				}
+			}
+			if stole {
+				continue
+			}
+			// Level 2: remote sockets, randomized.
+			for tries := 0; tries < workers; tries++ {
+				v := int(rng.Uint64() % uint64(workers))
+				if v == worker || v/per == mySocket {
+					continue
+				}
+				if c, ok := deques[v].Steal(); ok {
+					runChunk(int(c), worker)
+					stole = true
+					break
+				}
+			}
+			if stole {
+				continue
+			}
+			// Deterministic remote sweep: the local sweep above saw
+			// every same-socket deque empty, so remote deques all
+			// empty too means every chunk is claimed.
+			found := false
+			for off := 1; off < workers; off++ {
+				v := (worker + off) % workers
+				if v/per == mySocket {
+					continue
+				}
+				if c, ok := deques[v].Steal(); ok {
+					runChunk(int(c), worker)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return
+			}
+		}
+	})
+}
+
+// prefillDeques builds the per-worker Chase–Lev deques with the static
+// chunk assignment (worker w owns w, w+workers, ...), pushed in
+// descending order so owners pop ascending.
+func prefillDeques(workers, nchunks int) []*Deque {
+	deques := make([]*Deque, workers)
+	per := (nchunks + workers - 1) / workers
+	for w := range deques {
+		deques[w] = NewDeque(per)
+	}
+	for w := 0; w < workers; w++ {
+		last := w + ((nchunks-1-w)/workers)*workers
+		for c := last; c >= 0; c -= workers {
+			if !deques[w].PushBottom(int64(c)) {
+				panic("parallel: steal deque prefill overflow")
+			}
+		}
+	}
+	return deques
+}

@@ -196,8 +196,8 @@ func TestEngineOrdering(t *testing.T) {
 
 func TestSchedStudyCSV(t *testing.T) {
 	rows := []SchedStudyRow{
-		{Kernel: "BFS", Sched: "dynamic", Threads: 8, Workers: 4, ModeledSec: 0.25, WallSec: 0.5},
-		{Kernel: "PR", Sched: "steal", Threads: 72, Workers: 4, ModeledSec: 1.5},
+		{Kernel: "BFS", Sched: "dynamic", Threads: 8, Sockets: 1, Workers: 4, ModeledSec: 0.25, WallSec: 0.5},
+		{Kernel: "PR", Sched: "numa", Threads: 72, Sockets: 2, Workers: 4, ModeledSec: 1.5},
 	}
 	var buf bytes.Buffer
 	if err := WriteSchedStudyCSV(&buf, rows); err != nil {
@@ -210,12 +210,12 @@ func TestSchedStudyCSV(t *testing.T) {
 	if lines[0] != SchedStudyCSVHeader {
 		t.Errorf("header %q", lines[0])
 	}
-	if lines[1] != "BFS,dynamic,8,4,0.25,0.5" {
+	if lines[1] != "BFS,dynamic,8,1,4,0.25,0.5" {
 		t.Errorf("row %q", lines[1])
 	}
 	var tbl bytes.Buffer
 	SchedStudyTable(&tbl, rows)
-	if !strings.Contains(tbl.String(), "steal") {
+	if !strings.Contains(tbl.String(), "numa") {
 		t.Error("table missing policy column")
 	}
 }

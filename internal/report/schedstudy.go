@@ -9,30 +9,35 @@ import (
 // SchedStudyRow is one cell of the scheduling-study table (the
 // ROADMAP's "modeled time vs. policy across thread counts" figure):
 // one kernel run under one scheduling policy at one virtual thread
-// count, with the modeled seconds the figure plots and the wall-clock
-// seconds this host happened to take (0 when not measured). Comparing
-// the dynamic column against steal across the thread axis quantifies
-// where the shared-counter policy serializes and stealing recovers.
+// count and socket count, with the modeled seconds the figure plots
+// and the wall-clock seconds this host happened to take (0 when not
+// measured). Comparing the dynamic column against steal across the
+// thread axis quantifies where the shared-counter policy serializes
+// and stealing recovers; comparing steal against numa across the
+// socket axis quantifies where flat stealing pays cross-socket
+// penalties that two-level stealing avoids.
 type SchedStudyRow struct {
 	Kernel     string
 	Sched      string
 	Threads    int
+	Sockets    int
 	Workers    int
 	ModeledSec float64
 	WallSec    float64
 }
 
 // SchedStudyCSVHeader is the column layout of WriteSchedStudyCSV.
-const SchedStudyCSVHeader = "kernel,sched,threads,workers,modeled_s,wall_s"
+const SchedStudyCSVHeader = "kernel,sched,threads,sockets,workers,modeled_s,wall_s"
 
 // WriteSchedStudyCSV writes the scheduling-study table as CSV for
-// external plotting, one row per (kernel, policy, thread count).
+// external plotting, one row per (kernel, policy, thread count,
+// socket count).
 func WriteSchedStudyCSV(w io.Writer, rows []SchedStudyRow) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, SchedStudyCSVHeader)
 	for _, r := range rows {
-		fmt.Fprintf(bw, "%s,%s,%d,%d,%.9g,%.9g\n",
-			r.Kernel, r.Sched, r.Threads, r.Workers, r.ModeledSec, r.WallSec)
+		fmt.Fprintf(bw, "%s,%s,%d,%d,%d,%.9g,%.9g\n",
+			r.Kernel, r.Sched, r.Threads, r.Sockets, r.Workers, r.ModeledSec, r.WallSec)
 	}
 	return bw.Flush()
 }
@@ -43,10 +48,10 @@ func SchedStudyTable(w io.Writer, rows []SchedStudyRow) {
 	var out [][]string
 	for _, r := range rows {
 		out = append(out, []string{
-			r.Kernel, r.Sched, fmt.Sprint(r.Threads),
+			r.Kernel, r.Sched, fmt.Sprint(r.Threads), fmt.Sprint(r.Sockets),
 			FormatSeconds(r.ModeledSec), FormatSeconds(r.WallSec),
 		})
 	}
-	Table(w, "Scheduling study: modeled seconds by policy and thread count",
-		[]string{"kernel", "sched", "threads", "modeled_s", "wall_s"}, out)
+	Table(w, "Scheduling study: modeled seconds by policy, thread count, and sockets",
+		[]string{"kernel", "sched", "threads", "sockets", "modeled_s", "wall_s"}, out)
 }

@@ -11,12 +11,14 @@
 // the mechanisms the paper's scalability analysis rests on:
 //
 //   - scheduling policy: OpenMP-style static (round-robin chunks),
-//     dynamic (greedy least-loaded assignment), and work-stealing
+//     dynamic (greedy least-loaded assignment), work-stealing
 //     (per-lane deques with seeded randomized victim selection — a
 //     deterministic simulation of the Cilk/TBB discipline; see
-//     stealLanes), so load imbalance from skewed degree distributions
-//     appears under static scheduling and each policy's remedy is
-//     modeled;
+//     stealLanes), and two-level NUMA stealing (socket-aware victim
+//     order with remote-steal and remote-chunk-access penalties; see
+//     stealLanesTopo), so load imbalance from skewed degree
+//     distributions appears under static scheduling and each policy's
+//     remedy — and its locality price — is modeled;
 //   - frequency scaling: single-thread turbo down to all-core base;
 //   - a memory-bandwidth roofline with per-socket limits, so
 //     bandwidth-bound kernels stop scaling once sockets saturate;

@@ -47,6 +47,14 @@ const (
 	// on real workers — so modeled durations stay bit-identical at any
 	// worker count. See stealLanes.
 	Steal
+	// NUMA is Steal with two-level (socket-aware) victim selection
+	// over the machine's virtual socket topology (SetSockets): idle
+	// lanes steal within their own socket before crossing to a remote
+	// one, and the locality penalties (Model.RemoteBytesFactor,
+	// Model.RemoteStealCycles) are charged per cross-socket steal.
+	// With one socket (the default) it is byte-identical to Steal.
+	// See stealLanesTopo.
+	NUMA
 )
 
 // Region is one entry of the machine's activity trace: a parallel or
@@ -100,6 +108,19 @@ type Machine struct {
 	// choice (Spec.Sched plumbs through here).
 	forceSched Sched
 	forced     bool
+
+	// Virtual socket topology for the steal simulation's locality
+	// model (Spec.Sockets plumbs through here). sockets defaults to 1
+	// — no locality penalties, so Steal keeps its historical numbers
+	// and NUMA coincides with it. socketsSet records an explicit
+	// SetSockets call: only then is the same count forced onto the
+	// real execution topology (otherwise the real side uses the
+	// GOMAXPROCS-derived parallel.DefaultTopology, which nothing
+	// observable depends on). remotePenalty overrides
+	// Model.RemoteBytesFactor when > 0 (Spec.RemotePenalty).
+	sockets       int
+	socketsSet    bool
+	remotePenalty float64
 }
 
 // New returns a machine with the given model and virtual thread count.
@@ -117,7 +138,7 @@ func New(model Model, threads int) *Machine {
 	}
 	return &Machine{
 		model: model, threads: threads, workers: w,
-		pool: parallel.Default(), tracing: true,
+		pool: parallel.Default(), tracing: true, sockets: 1,
 	}
 }
 
@@ -157,6 +178,49 @@ func (m *Machine) SetSchedOverride(s Sched) {
 
 // ClearSchedOverride restores each region's own policy.
 func (m *Machine) ClearSchedOverride() { m.forced = false }
+
+// SetSockets sets the virtual socket count of the steal simulation's
+// locality model (and of the real two-level steal topology). The
+// default is 1: no locality penalties, NUMA ≡ Steal. Counts above the
+// thread count are clamped by the simulation.
+func (m *Machine) SetSockets(s int) {
+	if s < 1 {
+		s = 1
+	}
+	m.sockets = s
+	m.socketsSet = true
+}
+
+// Sockets returns the virtual socket count.
+func (m *Machine) Sockets() int { return m.sockets }
+
+// SetRemotePenalty overrides Model.RemoteBytesFactor — the multiplier
+// on a chunk's DRAM bytes when a lane executes it off its home socket.
+// Values below 1 (including 0) restore the model default.
+func (m *Machine) SetRemotePenalty(f float64) { m.remotePenalty = f }
+
+// remoteBytesFactor resolves the effective remote-access multiplier:
+// the SetRemotePenalty override, else the model constant, else 1 (for
+// models predating the locality fields — no penalty).
+func (m *Machine) remoteBytesFactor() float64 {
+	if m.remotePenalty >= 1 {
+		return m.remotePenalty
+	}
+	if m.model.RemoteBytesFactor >= 1 {
+		return m.model.RemoteBytesFactor
+	}
+	return 1
+}
+
+// realTopo returns the socket topology handed to the real executor:
+// the explicit Spec.Sockets count when set, otherwise the zero
+// Topology (parallel resolves it to its GOMAXPROCS-derived default).
+func (m *Machine) realTopo() parallel.Topology {
+	if m.socketsSet {
+		return parallel.Topology{Sockets: m.sockets}
+	}
+	return parallel.Topology{}
+}
 
 // effSched resolves a region's policy against the machine override.
 func (m *Machine) effSched(s Sched) Sched {
@@ -249,6 +313,8 @@ func execSched(s Sched) parallel.Sched {
 		return parallel.Static
 	case Steal:
 		return parallel.Steal
+	case NUMA:
+		return parallel.NUMA
 	default:
 		return parallel.Dynamic
 	}
@@ -279,7 +345,7 @@ func (m *Machine) ParallelForChunks(n, grain int, sched Sched, body func(lo, hi,
 	}
 	sched = m.effSched(sched)
 	costs := make([]Cost, parallel.NumChunks(n, grain))
-	parallel.For(m.pool, m.workers, n, grain, execSched(sched), func(lo, hi, chunk, worker int) {
+	parallel.ForTopo(m.pool, m.workers, n, grain, execSched(sched), m.realTopo(), func(lo, hi, chunk, worker int) {
 		var w W
 		body(lo, hi, chunk, worker, &w)
 		costs[chunk] = w.c
@@ -374,7 +440,11 @@ func (m *Machine) commitRegion(costs []Cost, sched Sched) {
 			loads[best] += laneLoad(c, &m.model)
 		}
 	case Steal:
-		lanes = stealLanes(costs, t, &m.model)
+		lanes = stealLanesTopo(costs, t, m.sockets, m.remoteBytesFactor(),
+			m.model.RemoteStealCycles, false, &m.model)
+	case NUMA:
+		lanes = stealLanesTopo(costs, t, m.sockets, m.remoteBytesFactor(),
+			m.model.RemoteStealCycles, true, &m.model)
 	}
 	m.commitLanes(lanes)
 }

@@ -39,6 +39,17 @@ type Model struct {
 	// ParseCyclesPerByte is charged per byte for text parsing.
 	DiskBW             float64
 	ParseCyclesPerByte float64
+
+	// Locality model of the steal simulation (stealLanesTopo),
+	// charged only when the machine is given more than one virtual
+	// socket (Spec.Sockets). RemoteBytesFactor multiplies a chunk's
+	// DRAM bytes when a lane executes it off its home socket — the
+	// stolen chunk's data sits in the victim socket's memory and
+	// every access crosses the interconnect. RemoteStealCycles is the
+	// extra latency of the steal CAS itself when thief and victim are
+	// on different sockets (cross-socket cache-line transfer).
+	RemoteBytesFactor float64
+	RemoteStealCycles float64
 }
 
 // MaxThreads returns the machine's hardware thread count.
@@ -70,6 +81,12 @@ func Haswell72() Model {
 		AtomicContention:   1.2,
 		DiskBW:             480e6,
 		ParseCyclesPerByte: 9,
+		// QPI-era locality: remote DRAM streams at roughly 60% of
+		// local bandwidth (1.7x effective bytes) and a cross-socket
+		// CAS pays on the order of a hundred extra cycles for the
+		// line transfer.
+		RemoteBytesFactor: 1.7,
+		RemoteStealCycles: 120,
 	}
 }
 

@@ -1,11 +1,17 @@
 // Scheduling-study artifact: the ROADMAP's "modeled time vs. policy
-// across thread counts" figure. Gated behind EPG_WRITE_SCHEDFIG=1 (it
-// is a measurement, not a correctness check); run via `make benchfig`,
-// which writes FIG_sched_study.csv. The dynamic column grows with the
-// thread count as the greedy shared-counter assignment loses to lane
-// contention; the steal column tracks static until imbalance appears,
-// then recovers it — the same story the paper tells about OpenMP
-// schedule(dynamic) vs. Cilk-style runtimes.
+// across thread counts" figure, extended with the locality dimension.
+// Gated behind EPG_WRITE_SCHEDFIG=1 (it is a measurement, not a
+// correctness check); run via `make benchfig`, which writes
+// FIG_sched_study.csv. The dynamic column grows with the thread count
+// as the greedy shared-counter assignment loses to lane contention;
+// the steal column tracks static until imbalance appears, then
+// recovers it — the same story the paper tells about OpenMP
+// schedule(dynamic) vs. Cilk-style runtimes. The sockets axis applies
+// the locality model: at sockets > 1 flat stealing (steal) pays
+// remote-steal and remote-chunk-access penalties for every
+// cross-socket steal, while two-level stealing (numa) keeps most
+// steals on-socket — the gap between the two columns at equal sockets
+// is the modeled win of locality-aware victim ordering.
 package epg_test
 
 import (
@@ -23,13 +29,20 @@ import (
 // x-axis, plus the 72-thread full machine).
 var schedStudyThreads = []int{1, 2, 4, 8, 16, 32, 64, 72}
 
+// schedStudySockets is the locality axis. Policies without a steal
+// path (static, dynamic) charge no locality penalties, so only their
+// sockets=1 rows are emitted.
+var schedStudySockets = []int{1, 2, 4}
+
 var schedStudyPolicies = []struct {
-	name  string
-	sched simmachine.Sched
+	name    string
+	sched   simmachine.Sched
+	sockets []int
 }{
-	{"static", simmachine.Static},
-	{"dynamic", simmachine.Dynamic},
-	{"steal", simmachine.Steal},
+	{"static", simmachine.Static, []int{1}},
+	{"dynamic", simmachine.Dynamic, []int{1}},
+	{"steal", simmachine.Steal, schedStudySockets},
+	{"numa", simmachine.NUMA, schedStudySockets},
 }
 
 func TestWriteSchedStudy(t *testing.T) {
@@ -46,37 +59,43 @@ func TestWriteSchedStudy(t *testing.T) {
 	var rows []report.SchedStudyRow
 	for _, kernel := range []string{"BFS", "PR"} {
 		for _, pol := range schedStudyPolicies {
-			for _, threads := range schedStudyThreads {
-				m := simmachine.New(simmachine.Haswell72(), threads)
-				m.SetSchedOverride(pol.sched)
-				m.SetTracing(false)
-				instAny, err := gap.New().Load(el, m)
-				if err != nil {
-					t.Fatal(err)
-				}
-				inst := instAny.(*gap.Instance)
-				inst.BuildStructure()
-				m.Reset()
-				run := func() error {
-					if kernel == "BFS" {
-						_, err := inst.BFS(root)
+			for _, sockets := range pol.sockets {
+				for _, threads := range schedStudyThreads {
+					m := simmachine.New(simmachine.Haswell72(), threads)
+					m.SetSchedOverride(pol.sched)
+					if sockets > 1 {
+						m.SetSockets(sockets)
+					}
+					m.SetTracing(false)
+					instAny, err := gap.New().Load(el, m)
+					if err != nil {
+						t.Fatal(err)
+					}
+					inst := instAny.(*gap.Instance)
+					inst.BuildStructure()
+					m.Reset()
+					run := func() error {
+						if kernel == "BFS" {
+							_, err := inst.BFS(root)
+							return err
+						}
+						_, err := inst.PageRank(engines.DefaultPROpts())
 						return err
 					}
-					_, err := inst.PageRank(engines.DefaultPROpts())
-					return err
+					start := time.Now()
+					if err := run(); err != nil {
+						t.Fatal(err)
+					}
+					rows = append(rows, report.SchedStudyRow{
+						Kernel:     kernel,
+						Sched:      pol.name,
+						Threads:    threads,
+						Sockets:    sockets,
+						Workers:    m.Workers(),
+						ModeledSec: m.Elapsed(),
+						WallSec:    time.Since(start).Seconds(),
+					})
 				}
-				start := time.Now()
-				if err := run(); err != nil {
-					t.Fatal(err)
-				}
-				rows = append(rows, report.SchedStudyRow{
-					Kernel:     kernel,
-					Sched:      pol.name,
-					Threads:    threads,
-					Workers:    m.Workers(),
-					ModeledSec: m.Elapsed(),
-					WallSec:    time.Since(start).Seconds(),
-				})
 			}
 		}
 	}
