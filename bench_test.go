@@ -444,11 +444,24 @@ func speedupInstance(b testing.TB, el *graph.EdgeList, workers int) (*gap.Instan
 }
 
 // benchBaseline mirrors the JSON layout TestWriteBenchBaseline
-// writes. NumCPU distinguishes hosts whose GOMAXPROCS was capped.
+// writes. NumCPU distinguishes hosts whose GOMAXPROCS was capped;
+// HostClass makes the known small-host caveat machine-readable.
 type benchBaseline struct {
 	Dataset    string `json:"dataset"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"numcpu"`
+	HostClass  string `json:"hostClass"`
+}
+
+// baselineHostClass classifies the recording host: speedup columns
+// from hosts below four CPUs are scheduling-overhead measurements, not
+// parallel speedups (the long-standing 1-core-container caveat, now
+// stamped into the artifact instead of living in a ROADMAP footnote).
+func baselineHostClass() string {
+	if runtime.NumCPU() < 4 {
+		return "small-host-speedups-unreliable"
+	}
+	return "multicore"
 }
 
 // warnBaselineHostMismatch compares the committed BENCH_baseline.json
@@ -471,6 +484,11 @@ func warnBaselineHostMismatch(tb testing.TB) {
 			"this host has GOMAXPROCS=%d NumCPU=%d — wall-clock comparisons are not "+
 			"apples-to-apples, run `make baseline` here first",
 			base.GOMAXPROCS, base.NumCPU, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	}
+	if base.HostClass == "small-host-speedups-unreliable" {
+		tb.Logf("WARNING: BENCH_baseline.json is stamped hostClass=%q (recorded below 4 CPUs): "+
+			"its speedup columns measure scheduling overhead, not parallel speedup — regenerate "+
+			"on a multicore host before drawing scaling conclusions", base.HostClass)
 	}
 }
 
@@ -523,6 +541,7 @@ func TestWriteBenchBaseline(t *testing.T) {
 		Threads    int                `json:"threads"`
 		GOMAXPROCS int                `json:"gomaxprocs"`
 		NumCPU     int                `json:"numcpu"`
+		HostClass  string             `json:"hostClass"`
 		Reps       int                `json:"reps"`
 		Results    []entry            `json:"results"`
 		Speedup4W  map[string]float64 `json:"speedup_4w_vs_1w"`
@@ -532,8 +551,18 @@ func TestWriteBenchBaseline(t *testing.T) {
 		Threads:    32,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		HostClass:  baselineHostClass(),
 		Reps:       3,
 		Speedup4W:  map[string]float64{},
+	}
+	if baseline.HostClass != "multicore" {
+		t.Logf("")
+		t.Logf("=========================================================================")
+		t.Logf("WARNING: recording BENCH_baseline.json on a %d-CPU host (hostClass=%q).", runtime.NumCPU(), baseline.HostClass)
+		t.Logf("The speedup_4w_vs_1w columns will measure scheduling overhead, NOT")
+		t.Logf("parallel speedup. Regenerate on a >=4-CPU host for meaningful numbers.")
+		t.Logf("=========================================================================")
+		t.Logf("")
 	}
 	el := speedupGraph(t)
 	secs := map[string]map[int]float64{"BFS": {}, "PR": {}}

@@ -146,6 +146,8 @@ func cmdRun(args []string) error {
 	sched := fs.String("sched", "", "force a scheduling policy on every region (static, dynamic, steal, numa)")
 	sockets := fs.Int("sockets", 0, "virtual socket count for the locality model (0 = one socket, no penalties)")
 	remotePenalty := fs.Float64("remote-penalty", 0, "remote-chunk-access bytes multiplier (0 = model default)")
+	grain := fs.String("grain", "", "region grain policy: fixed (engine defaults) or adaptive (frontier-proportional)")
+	placement := fs.String("placement", "", "locality model for resident data: none (steals only) or firsttouch (page ownership; needs -sockets > 1)")
 	syncSSSP := fs.Bool("sync-sssp", false, "synchronous deterministic SSSP in GAP and GraphBIG")
 	fs.Parse(args)
 
@@ -164,6 +166,8 @@ func cmdRun(args []string) error {
 		Sched:         *sched,
 		Sockets:       *sockets,
 		RemotePenalty: *remotePenalty,
+		Grain:         *grain,
+		Placement:     *placement,
 		SyncSSSP:      *syncSSSP,
 	}
 	if *enginesFlag != "" {

@@ -72,6 +72,26 @@ const (
 	SchedNUMA    = core.SchedNUMA
 )
 
+// Grain policies for Spec.Grain. GrainFixed (the default) keeps each
+// engine's hand-picked per-region grain; GrainAdaptive derives grains
+// from the live region size and Spec.Threads, so frontier regions
+// always split into about eight chunks per lane — the configuration
+// that keeps work stealing live on small BFS/SSSP frontiers.
+const (
+	GrainFixed    = core.GrainFixed
+	GrainAdaptive = core.GrainAdaptive
+)
+
+// Placement models for Spec.Placement. PlacementNone (the default)
+// charges locality penalties only when a chunk is stolen across
+// sockets; PlacementFirstTouch additionally records first-touch socket
+// ownership of resident data and charges remote reads under every
+// scheduling policy. Pair it with Spec.Sockets > 1.
+const (
+	PlacementNone       = core.PlacementNone
+	PlacementFirstTouch = core.PlacementFirstTouch
+)
+
 // Result is one measured run with its phase breakdown.
 type Result = core.Result
 

@@ -78,6 +78,26 @@ type Spec struct {
 	// values in (0, 1) are rejected — remote memory is never faster
 	// than local.
 	RemotePenalty float64
+	// Grain selects the region grain policy. Empty or GrainFixed
+	// keeps each engine's hand-picked per-region grain (the historical
+	// behavior); GrainAdaptive derives every kernel region's grain
+	// from the live region size and the virtual thread count
+	// (frontier-proportional: about eight chunks per lane whatever the
+	// frontier size), which keeps the steal policies live on the small
+	// BFS/SSSP frontiers where fixed grains leave nothing to steal.
+	// The chunk-count function is deterministic in (region size,
+	// Threads), so outputs and modeled durations remain
+	// schedule-independent.
+	Grain string
+	// Placement selects the locality model for resident data. Empty
+	// or PlacementNone charges remote-access penalties for *stolen*
+	// chunks only (the historical model); PlacementFirstTouch
+	// additionally records first-touch socket ownership per page of
+	// the region index space and charges RemotePenalty bytes whenever
+	// a chunk — under any policy, static included — reads pages first
+	// touched on another socket. Requires Sockets > 1 to have any
+	// effect.
+	Placement string
 	// SyncSSSP switches GAP's delta-stepping and GraphBIG's
 	// relaxation to their synchronous bucket/round-barrier modes,
 	// making their parents, relaxation counts, and modeled durations
@@ -106,6 +126,24 @@ const (
 	SchedNUMA = "numa"
 )
 
+// Grain policy names for Spec.Grain.
+const (
+	// GrainFixed keeps each engine's per-region grain (default).
+	GrainFixed = "fixed"
+	// GrainAdaptive derives grains from region size × virtual threads.
+	GrainAdaptive = "adaptive"
+)
+
+// Placement model names for Spec.Placement.
+const (
+	// PlacementNone charges locality penalties for stolen chunks only
+	// (default).
+	PlacementNone = "none"
+	// PlacementFirstTouch adds the first-touch page-ownership model:
+	// remotely-placed resident data is charged under every policy.
+	PlacementFirstTouch = "firsttouch"
+)
+
 // NumRoots returns the effective root count.
 func (s Spec) NumRoots() int {
 	if s.Roots > 0 {
@@ -130,6 +168,18 @@ func (s Spec) Validate() error {
 	default:
 		return fmt.Errorf("core: unknown scheduling policy %q (want %q, %q, %q or %q)",
 			s.Sched, SchedStatic, SchedDynamic, SchedSteal, SchedNUMA)
+	}
+	switch s.Grain {
+	case "", GrainFixed, GrainAdaptive:
+	default:
+		return fmt.Errorf("core: unknown grain policy %q (want %q or %q)",
+			s.Grain, GrainFixed, GrainAdaptive)
+	}
+	switch s.Placement {
+	case "", PlacementNone, PlacementFirstTouch:
+	default:
+		return fmt.Errorf("core: unknown placement model %q (want %q or %q)",
+			s.Placement, PlacementNone, PlacementFirstTouch)
 	}
 	if s.Sockets < 0 {
 		return fmt.Errorf("core: spec needs sockets >= 0, got %d", s.Sockets)

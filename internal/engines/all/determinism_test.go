@@ -30,6 +30,7 @@ import (
 	"github.com/hpcl-repro/epg/internal/graph"
 	"github.com/hpcl-repro/epg/internal/harness"
 	"github.com/hpcl-repro/epg/internal/kronecker"
+	"github.com/hpcl-repro/epg/internal/parallel"
 	"github.com/hpcl-repro/epg/internal/simmachine"
 )
 
@@ -47,10 +48,12 @@ type kernelRun struct {
 
 // runOpts tweaks a kernel run beyond the worker count.
 type runOpts struct {
-	syncSSSP bool             // enable the synchronous SSSP modes
-	sched    simmachine.Sched // machine-wide policy override
-	override bool             // apply sched
-	sockets  int              // virtual sockets for the locality model (0 = default)
+	syncSSSP  bool             // enable the synchronous SSSP modes
+	sched     simmachine.Sched // machine-wide policy override
+	override  bool             // apply sched
+	sockets   int              // virtual sockets for the locality model (0 = default)
+	adaptive  bool             // frontier-proportional grain policy
+	placement bool             // first-touch page-placement model
 }
 
 func runKernel(t *testing.T, name string, alg engines.Algorithm, el *graph.EdgeList, root graph.VID, workers int) kernelRun {
@@ -76,6 +79,12 @@ func runKernelOpts(t *testing.T, name string, alg engines.Algorithm, el *graph.E
 	}
 	if opts.sockets > 0 {
 		m.SetSockets(opts.sockets)
+	}
+	if opts.adaptive {
+		m.SetGrainPolicy(parallel.GrainAdaptive)
+	}
+	if opts.placement {
+		m.SetPlacement(true)
 	}
 	inst, err := eng.Load(el, m)
 	if err != nil {

@@ -11,7 +11,12 @@ import (
 
 // Frontier grains: small top-down chunks keep skewed frontiers
 // balanced; bottom-up sweeps the whole vertex range in larger chunks.
-// Both are multiples of 64 so bitmap chunks never share words.
+// Both are multiples of 64 so bitmap chunks never share words. These
+// are the GrainFixed bases; under Spec.Grain = "adaptive" every
+// region resolves its grain through Machine.Grain instead
+// (frontier-proportional, so small levels still split into enough
+// chunks to steal). Bottom-up passes align 64 because each chunk
+// clears its own word range of the next bitmap in-region.
 const (
 	bfsTopDownGrain  = 64
 	bfsBottomUpGrain = 1024
@@ -94,8 +99,9 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 			if wasBottomUp {
 				frontier = inst.bitmapToFrontier(front, frontier[:0], frontierLen)
 			}
-			next.Reset(parallel.NumChunks(len(frontier), bfsTopDownGrain))
-			examined = inst.stepTopDown(frontier, parent, depth, level, next)
+			g := inst.m.Grain(len(frontier), bfsTopDownGrain, 1)
+			next.Reset(parallel.NumChunks(len(frontier), g))
+			examined = inst.stepTopDown(frontier, g, parent, depth, level, next)
 			frontier, nextScout = inst.drainFrontier(next, parent, frontier)
 			frontierLen = len(frontier)
 		}
@@ -116,9 +122,9 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 // yet finalized (the set of such edges is fixed by the previous
 // levels), and queue cycles per dequeued vertex — the last amortizing
 // the chunk-ordered flush, which replaced the per-level sort.
-func (inst *Instance) stepTopDown(frontier []graph.VID, parent, depth []int64, level int64, next *parallel.ChunkQueue[parallel.Claim]) (examined int64) {
+func (inst *Instance) stepTopDown(frontier []graph.VID, grain int, parent, depth []int64, level int64, next *parallel.ChunkQueue[parallel.Claim]) (examined int64) {
 	exa := parallel.NewCounter(inst.m.Workers())
-	inst.m.ParallelForChunks(len(frontier), bfsTopDownGrain, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+	inst.m.ParallelForChunks(len(frontier), grain, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 		var local []parallel.Claim
 		var edges, claims int64
 		for _, v := range frontier[lo:hi] {
@@ -178,9 +184,10 @@ func (inst *Instance) drainFrontier(next *parallel.ChunkQueue[parallel.Claim], p
 // function of (frontier length, n), so still deterministic.
 func (inst *Instance) frontierToBitmap(frontier []graph.VID, b *parallel.Bitmap) {
 	b.Clear()
+	g := inst.m.Grain(len(frontier), bfsTopDownGrain, 1)
 	words := float64((inst.n + 63) / 64)
-	share := words / float64(parallel.NumChunks(len(frontier), bfsTopDownGrain))
-	inst.m.ParallelForChunks(len(frontier), bfsTopDownGrain, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+	share := words / float64(parallel.NumChunks(len(frontier), g))
+	inst.m.ParallelForChunks(len(frontier), g, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 		for _, v := range frontier[lo:hi] {
 			b.Set(int(v))
 		}
@@ -200,7 +207,7 @@ func (inst *Instance) bitmapToFrontier(b *parallel.Bitmap, dst []graph.VID, coun
 	words := (inst.n + 63) / 64
 	per := costBitmapWord
 	per.Add(costQueueDrain.Scale(float64(count) / float64(words)))
-	inst.m.ChargeUniform(words, bfsBitmapWordGrain, simmachine.Dynamic, per)
+	inst.m.ChargeUniform(words, inst.m.Grain(words, bfsBitmapWordGrain, 1), simmachine.Dynamic, per)
 	return out
 }
 
@@ -220,7 +227,9 @@ func (inst *Instance) stepBottomUp(front, next *parallel.Bitmap, parent, depth [
 	exa := parallel.NewCounter(inst.m.Workers())
 	sct := parallel.NewCounter(inst.m.Workers())
 	fnd := parallel.NewCounter(inst.m.Workers())
-	inst.m.ParallelForChunks(n, bfsBottomUpGrain, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+	// align 64: each chunk clears its own word range of `next`.
+	g := inst.m.Grain(n, bfsBottomUpGrain, 64)
+	inst.m.ParallelForChunks(n, g, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 		next.ClearRange(lo, hi)
 		w.Charge(costBitmapWord.Scale(float64(hi-lo) / 64))
 		var edges, localScout, localFound int64

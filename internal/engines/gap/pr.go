@@ -34,10 +34,13 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 	outDeg := inst.out.OutDegrees()
 
 	res := &engines.PRResult{}
+	gContrib := inst.m.Grain(n, 2048, 1)
+	gPull := inst.m.Grain(n, 1024, 1)
+	gL1 := inst.m.Grain(n, 4096, 1)
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		// Per-vertex contributions and the dangling sum.
-		dr := parallel.NewReducer[float64](parallel.NumChunks(n, 2048))
-		inst.m.ParallelForChunks(n, 2048, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+		dr := parallel.NewReducer[float64](parallel.NumChunks(n, gContrib))
+		inst.m.ParallelForChunks(n, gContrib, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			var localDangling float64
 			for v := lo; v < hi; v++ {
 				if outDeg[v] == 0 {
@@ -55,7 +58,7 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 		base := (1-opts.Damping)*inv + opts.Damping*dangling*inv
 
 		// Pull phase.
-		inst.m.ParallelFor(n, 1024, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+		inst.m.ParallelFor(n, gPull, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
 			var edges int64
 			for v := lo; v < hi; v++ {
 				sum := 0.0
@@ -70,8 +73,8 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 		})
 
 		// L1 convergence test.
-		lr := parallel.NewReducer[float64](parallel.NumChunks(n, 4096))
-		inst.m.ParallelForChunks(n, 4096, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+		lr := parallel.NewReducer[float64](parallel.NumChunks(n, gL1))
+		inst.m.ParallelForChunks(n, gL1, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			local := 0.0
 			for v := lo; v < hi; v++ {
 				local += math.Abs(next[v] - rank[v])

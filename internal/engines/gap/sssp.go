@@ -81,7 +81,7 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 		bkts[idx] = append(bkts[idx], v)
 		return bkts
 	}
-	const grain = 32
+	const grain = 32 // GrainFixed base; adaptive resolves per pass
 
 	for bi := 0; bi < len(buckets); bi++ {
 		// Settle light edges of bucket bi to a fixed point.
@@ -90,10 +90,11 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 		var heavyFrontier []graph.VID
 		for len(current) > 0 {
 			heavyFrontier = append(heavyFrontier, current...)
-			nchunks := parallel.NumChunks(len(current), grain)
+			g := inst.m.Grain(len(current), grain, 1)
+			nchunks := parallel.NumChunks(len(current), g)
 			reAddQ.Reset(nchunks)
 			laterQ.Reset(nchunks)
-			inst.m.ParallelForChunks(len(current), grain, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+			inst.m.ParallelForChunks(len(current), g, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 				var localRe []graph.VID
 				var localLater [][2]int64
 				var edges, wins int64
@@ -142,8 +143,9 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 		}
 		// One pass of heavy edges from everything settled in bi.
 		if len(heavyFrontier) > 0 {
-			laterQ.Reset(parallel.NumChunks(len(heavyFrontier), grain))
-			inst.m.ParallelForChunks(len(heavyFrontier), grain, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+			g := inst.m.Grain(len(heavyFrontier), grain, 1)
+			laterQ.Reset(parallel.NumChunks(len(heavyFrontier), g))
+			inst.m.ParallelForChunks(len(heavyFrontier), g, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 				var local [][2]int64
 				var edges, wins int64
 				for _, v := range heavyFrontier[lo:hi] {

@@ -80,8 +80,9 @@ func (inst *Instance) ssspSync(root graph.VID) (*engines.SSSPResult, error) {
 	// per-chunk slice-of-slices gave, through the shared primitive).
 	cands := parallel.NewChunkQueue[ssspCand]()
 	gather := func(frontier []graph.VID, bi int, heavy bool) {
-		cands.Reset(parallel.NumChunks(len(frontier), 32))
-		inst.m.ParallelForChunks(len(frontier), 32, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+		g := inst.m.Grain(len(frontier), 32, 1)
+		cands.Reset(parallel.NumChunks(len(frontier), g))
+		inst.m.ParallelForChunks(len(frontier), g, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			var local []ssspCand
 			var edges int64
 			for _, v := range frontier[lo:hi] {

@@ -90,12 +90,14 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 	level := int64(0)
 	var examined int64
 	// The reference uses static scheduling: chunk the frontier
-	// round-robin across threads regardless of degree skew.
-	grain := 128
+	// round-robin across threads regardless of degree skew. The 128
+	// base is the GrainFixed value; adaptive resolves per level.
+	const grain = 128
 	for len(frontier) > 0 {
-		queue.Reset(parallel.NumChunks(len(frontier), grain))
+		g := inst.m.Grain(len(frontier), grain, 1)
+		queue.Reset(parallel.NumChunks(len(frontier), g))
 		exa := parallel.NewCounter(inst.m.Workers())
-		inst.m.ParallelForChunks(len(frontier), grain, simmachine.Static, func(lo, hi, chunk, worker int, w *simmachine.W) {
+		inst.m.ParallelForChunks(len(frontier), g, simmachine.Static, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			var local []parallel.Claim
 			var edges, claims int64
 			for _, v := range frontier[lo:hi] {

@@ -31,11 +31,13 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 		rank[i] = inv
 	}
 	res := &engines.PRResult{}
+	gRed := inst.m.Grain(n, 4096, 1)
+	gGather := inst.m.Grain(n, 512, 1)
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		// Dangling mass (float64 reduction of float32 properties,
 		// folded in chunk order for determinism).
-		dr := parallel.NewReducer[float64](parallel.NumChunks(n, 4096))
-		inst.m.ParallelForChunks(n, 4096, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+		dr := parallel.NewReducer[float64](parallel.NumChunks(n, gRed))
+		inst.m.ParallelForChunks(n, gRed, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			local := 0.0
 			for v := lo; v < hi; v++ {
 				if len(inst.vertices[v].out) == 0 {
@@ -50,7 +52,7 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 
 		// Gather phase: fold in-neighbor shares in float32, per-vertex
 		// property updates under System G's per-edge lock cost.
-		inst.m.ParallelFor(n, 512, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+		inst.m.ParallelFor(n, gGather, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
 			var edges int64
 			for v := lo; v < hi; v++ {
 				var sum float32
@@ -65,8 +67,8 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 		})
 
 		// L1 over float32 properties, accumulated in float64.
-		lr := parallel.NewReducer[float64](parallel.NumChunks(n, 4096))
-		inst.m.ParallelForChunks(n, 4096, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+		lr := parallel.NewReducer[float64](parallel.NumChunks(n, gRed))
+		inst.m.ParallelForChunks(n, gRed, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			local := 0.0
 			for v := lo; v < hi; v++ {
 				local += math.Abs(float64(next[v]) - float64(rank[v]))

@@ -147,11 +147,12 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 	frontier := []graph.VID{root}
 	level := int64(0)
 	var examined int64
-	const grain = 32
+	const grain = 32 // GrainFixed base; adaptive resolves per level
 	for len(frontier) > 0 {
-		queue.Reset(parallel.NumChunks(len(frontier), grain))
+		g := inst.m.Grain(len(frontier), grain, 1)
+		queue.Reset(parallel.NumChunks(len(frontier), g))
 		exa := parallel.NewCounter(inst.m.Workers())
-		inst.m.ParallelForChunks(len(frontier), grain, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+		inst.m.ParallelForChunks(len(frontier), g, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			var local []parallel.Claim
 			var edges, visits int64
 			for _, v := range frontier[lo:hi] {
@@ -220,7 +221,7 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 	relax := parallel.NewCounter(inst.m.Workers())
 	for len(active) > 0 {
 		queue.Reset()
-		inst.m.ParallelForChunks(len(active), 32, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+		inst.m.ParallelForChunks(len(active), inst.m.Grain(len(active), 32, 1), simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			var local []graph.VID
 			var edges int64
 			for _, v := range active[lo:hi] {

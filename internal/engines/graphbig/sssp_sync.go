@@ -52,8 +52,9 @@ func (inst *Instance) ssspSync(root graph.VID) (*engines.SSSPResult, error) {
 	cands := parallel.NewChunkQueue[ssspCand]()
 	for len(active) > 0 {
 		round++
-		cands.Reset(parallel.NumChunks(len(active), 32))
-		inst.m.ParallelForChunks(len(active), 32, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+		g := inst.m.Grain(len(active), 32, 1)
+		cands.Reset(parallel.NumChunks(len(active), g))
+		inst.m.ParallelForChunks(len(active), g, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			var local []ssspCand
 			var edges int64
 			for _, v := range active[lo:hi] {

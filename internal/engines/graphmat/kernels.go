@@ -17,7 +17,8 @@ import (
 // proportional to the stored matrix, not the active frontier. Each row
 // writes only row-owned state, so the sweeps are deterministic.
 func (inst *Instance) spmvRows(mat *dcsr, body func(ri, worker int, w *simmachine.W)) {
-	inst.m.ParallelForChunks(len(mat.rows), 256, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+	g := inst.m.Grain(len(mat.rows), 256, 1)
+	inst.m.ParallelForChunks(len(mat.rows), g, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 		for ri := lo; ri < hi; ri++ {
 			body(ri, worker, w)
 		}
@@ -27,7 +28,8 @@ func (inst *Instance) spmvRows(mat *dcsr, body func(ri, worker int, w *simmachin
 
 // denseSweep charges one pass over a length-n dense vector.
 func (inst *Instance) denseSweep(mult float64) {
-	inst.m.ParallelFor(inst.n, 8192, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+	g := inst.m.Grain(inst.n, 8192, 1)
+	inst.m.ParallelFor(inst.n, g, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
 		w.Charge(costVecEntry.Scale(mult * float64(hi-lo)))
 	})
 }
@@ -211,9 +213,11 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 	// GraphMat iterates beyond where L1-stopping engines halt; give
 	// it headroom above the homogenized cap, as the paper observed.
 	maxIter := opts.MaxIter * 2
+	gRed := inst.m.Grain(n, 4096, 1)
+	gNorm := inst.m.Grain(n, 8192, 1)
 	for iter := 1; iter <= maxIter; iter++ {
-		dr := parallel.NewReducer[float64](parallel.NumChunks(n, 4096))
-		inst.m.ParallelForChunks(n, 4096, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+		dr := parallel.NewReducer[float64](parallel.NumChunks(n, gRed))
+		inst.m.ParallelForChunks(n, gRed, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			local := 0.0
 			for v := lo; v < hi; v++ {
 				if inst.outDeg[v] == 0 {
@@ -252,7 +256,7 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 		// ε₃₂ = 2⁻²³ ≈ 1.19e-7 — far stricter than the L1 criterion
 		// of the other systems, hence the extra iterations in Fig. 4.
 		var maxDeltaBits, maxRankBits uint64
-		inst.m.ParallelFor(n, 8192, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+		inst.m.ParallelFor(n, gNorm, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
 			var localDelta, localRank float32
 			for v := lo; v < hi; v++ {
 				d := next[v] - rank[v]

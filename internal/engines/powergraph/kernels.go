@@ -45,8 +45,10 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 	// Active sets are bitmaps (parallel.Bitmap), the dense frontier
 	// representation: the gather sweep tests one bit per edge source
 	// and the apply phase re-arms its own chunk's word range in-region
-	// (2048-grain chunks never share a word), so superstep activation
-	// costs no per-vertex bool traffic and no extra clearing pass.
+	// (apply grains are multiples of 64 — the fixed 2048 base and the
+	// 64-aligned adaptive resolution alike — so chunks never share a
+	// word), and superstep activation costs no per-vertex bool traffic
+	// and no extra clearing pass.
 	active := parallel.NewBitmap(n)
 	next := parallel.NewBitmap(n)
 	active.Set(int(root))
@@ -63,8 +65,9 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 		})
 		// Ghost sync + apply + scatter: combine each vertex's replica
 		// accumulators in shard order, commit improvements, activate.
+		// align 64: each chunk re-arms its own word range of `next`.
 		anyc := parallel.NewCounter(inst.m.Workers())
-		inst.m.ParallelForChunks(n, 2048, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+		inst.m.ParallelForChunks(n, inst.m.Grain(n, 2048, 64), simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			next.ClearRange(lo, hi)
 			var applied, reps int64
 			for v := lo; v < hi; v++ {
@@ -120,9 +123,11 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 	acc := make([]float64, inst.totalRep)
 
 	res := &engines.PRResult{}
+	gContrib := inst.m.Grain(n, 4096, 1)
+	gApply := inst.m.Grain(n, 2048, 1)
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		dr := parallel.NewReducer[float64](parallel.NumChunks(n, 4096))
-		inst.m.ParallelForChunks(n, 4096, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+		dr := parallel.NewReducer[float64](parallel.NumChunks(n, gContrib))
+		inst.m.ParallelForChunks(n, gContrib, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			local := 0.0
 			for v := lo; v < hi; v++ {
 				if outDeg[v] == 0 {
@@ -145,8 +150,8 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 
 		// Ghost sync + apply: fold replica partial sums in shard
 		// order, then commit the new rank and the L1 delta.
-		lr := parallel.NewReducer[float64](parallel.NumChunks(n, 2048))
-		inst.m.ParallelForChunks(n, 2048, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+		lr := parallel.NewReducer[float64](parallel.NumChunks(n, gApply))
+		inst.m.ParallelForChunks(n, gApply, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			local := 0.0
 			var reps int64
 			for v := lo; v < hi; v++ {
@@ -347,7 +352,7 @@ func (inst *Instance) WCC() (*engines.WCCResult, error) {
 			}
 		})
 		anyc := parallel.NewCounter(inst.m.Workers())
-		inst.m.ParallelForChunks(n, 2048, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
+		inst.m.ParallelForChunks(n, inst.m.Grain(n, 2048, 1), simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			var applied, reps int64
 			for v := lo; v < hi; v++ {
 				best := noLabel

@@ -7,6 +7,7 @@ import (
 	"github.com/hpcl-repro/epg/internal/core"
 	"github.com/hpcl-repro/epg/internal/engines"
 	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/parallel"
 	"github.com/hpcl-repro/epg/internal/power"
 	"github.com/hpcl-repro/epg/internal/simmachine"
 )
@@ -122,6 +123,12 @@ func (r *Runner) runEngine(spec core.Spec, el *graph.EdgeList, name string, root
 	}
 	if spec.RemotePenalty > 0 {
 		m.SetRemotePenalty(spec.RemotePenalty)
+	}
+	if spec.Grain == core.GrainAdaptive {
+		m.SetGrainPolicy(parallel.GrainAdaptive)
+	}
+	if spec.Placement == core.PlacementFirstTouch {
+		m.SetPlacement(true)
 	}
 
 	var fileReadSec, constructionSec float64

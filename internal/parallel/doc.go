@@ -29,6 +29,18 @@
 //     one socket it is exactly Steal. ForTopo takes the topology
 //     explicitly; For uses the GOMAXPROCS-derived DefaultTopology.
 //
+// # Grain policy
+//
+// Regions name a grain; AdaptiveGrain offers the frontier-
+// proportional alternative (GrainPolicy, Spec.Grain = "adaptive"):
+// the smallest align-multiple grain yielding at most
+// consumers×AdaptiveChunksPerLane chunks. Fixed grains leave small
+// frontier regions with fewer chunks than lanes — nothing to steal
+// exactly where degree skew bites — while the adaptive policy keeps
+// about eight chunks per lane at any region size. It is a pure
+// function of (n, consumers, align); callers pass the *virtual* lane
+// count so chunk partitions stay schedule-independent.
+//
 // # Frontier representations
 //
 // Graph kernels pick among three frontier structures, in increasing

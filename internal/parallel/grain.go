@@ -1,0 +1,61 @@
+package parallel
+
+// GrainPolicy selects how a machine resolves region grains. The fixed
+// policy keeps each engine's hand-picked per-region grain; the
+// adaptive policy derives the grain from the live region size and the
+// consumer count, so the chunk count tracks the number of lanes
+// instead of the number of items.
+//
+// The distinction matters most for frontier-driven kernels: a BFS
+// level over a few hundred vertices at a fixed grain of 64 yields a
+// handful of chunks — nothing for 32 threads to steal, so every steal
+// policy degenerates to static on exactly the regions where load is
+// most skewed. The adaptive policy targets AdaptiveChunksPerLane
+// chunks per consumer whatever the frontier size, keeping the steal
+// (and two-level NUMA) disciplines live at high thread counts.
+type GrainPolicy int
+
+const (
+	// GrainFixed resolves every region to its engine-chosen grain.
+	GrainFixed GrainPolicy = iota
+	// GrainAdaptive resolves region grains with AdaptiveGrain: chunk
+	// count proportional to the consumer count, not the item count.
+	GrainAdaptive
+)
+
+// AdaptiveChunksPerLane is the chunk-count target per consumer lane of
+// the adaptive grain policy. Eight chunks per lane gives thieves a
+// meaningful window (a victim's deque holds several steals' worth)
+// while keeping per-chunk scheduling overhead amortized; it matches
+// the granularity-control guidance of the Cilk/PBBS lineage
+// ("Theoretically Efficient Parallel Graph Algorithms" uses the same
+// order of magnitude for its granularity constants).
+const AdaptiveChunksPerLane = 8
+
+// AdaptiveGrain returns the frontier-proportional grain for a region
+// of n items consumed by `consumers` lanes: the smallest grain, in
+// multiples of `align`, that yields at most
+// consumers*AdaptiveChunksPerLane chunks. It is a pure function of its
+// arguments — callers that pass the *virtual* lane count (never the
+// real worker count) keep chunk partitions, and with them outputs and
+// modeled durations, schedule-independent.
+//
+// align carries the caller's in-region aliasing constraint: regions
+// that clear bitmap word ranges chunk-locally (Bitmap.ClearRange) need
+// 64-aligned chunk boundaries, so they pass 64; regions without shared
+// words pass 1. Alignment never rounds the chunk count up, only the
+// grain, so the at-most-target-chunks contract holds for any align.
+func AdaptiveGrain(n, consumers, align int) int {
+	if align < 1 {
+		align = 1
+	}
+	if n <= 0 {
+		return align
+	}
+	if consumers < 1 {
+		consumers = 1
+	}
+	target := consumers * AdaptiveChunksPerLane
+	g := (n + target - 1) / target
+	return (g + align - 1) / align * align
+}

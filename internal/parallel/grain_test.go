@@ -1,0 +1,72 @@
+package parallel
+
+import "testing"
+
+// TestAdaptiveGrainChunkTarget: the adaptive grain yields at most
+// consumers*AdaptiveChunksPerLane chunks, and (when n is large enough
+// to fill the target at the requested alignment) at least half of it —
+// the chunk count tracks lanes, not items.
+func TestAdaptiveGrainChunkTarget(t *testing.T) {
+	for _, consumers := range []int{1, 2, 8, 32, 72} {
+		target := consumers * AdaptiveChunksPerLane
+		for _, align := range []int{1, 64} {
+			for _, n := range []int{1, 5, 100, 4096, 1 << 17} {
+				g := AdaptiveGrain(n, consumers, align)
+				if g < 1 || g%align != 0 {
+					t.Fatalf("n=%d consumers=%d align=%d: grain %d not a positive multiple of align", n, consumers, align, g)
+				}
+				nchunks := NumChunks(n, g)
+				if nchunks > target {
+					t.Errorf("n=%d consumers=%d align=%d: %d chunks exceeds target %d", n, consumers, align, nchunks, target)
+				}
+				if n >= target*align && nchunks < (target+1)/2 {
+					t.Errorf("n=%d consumers=%d align=%d: only %d chunks for target %d", n, consumers, align, nchunks, target)
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveGrainDegenerateInputs: non-positive sizes, consumer
+// counts, and alignments resolve to safe values instead of zero grains
+// (NumChunks would divide by the grain).
+func TestAdaptiveGrainDegenerateInputs(t *testing.T) {
+	if g := AdaptiveGrain(0, 4, 64); g != 64 {
+		t.Errorf("n=0: grain %d, want align", g)
+	}
+	if g := AdaptiveGrain(-3, 4, 1); g != 1 {
+		t.Errorf("n<0: grain %d, want 1", g)
+	}
+	if g := AdaptiveGrain(100, 0, 1); g != AdaptiveGrain(100, 1, 1) {
+		t.Errorf("consumers=0 (%d) differs from consumers=1 (%d)", g, AdaptiveGrain(100, 1, 1))
+	}
+	if g := AdaptiveGrain(100, 4, 0); g != AdaptiveGrain(100, 4, 1) {
+		t.Errorf("align=0 (%d) differs from align=1 (%d)", g, AdaptiveGrain(100, 4, 1))
+	}
+}
+
+// TestAdaptiveGrainCoverage: For at an adaptive grain still covers
+// [0, n) exactly once with stable chunk boundaries, for every policy.
+func TestAdaptiveGrainCoverage(t *testing.T) {
+	p := NewPool(8)
+	n, consumers := 997, 8
+	for _, align := range []int{1, 64} {
+		g := AdaptiveGrain(n, consumers, align)
+		for _, sched := range []Sched{Static, Dynamic, Steal, NUMA} {
+			seen := make([]int32, n)
+			For(p, 4, n, g, sched, func(lo, hi, chunk, worker int) {
+				if lo != chunk*g {
+					t.Errorf("chunk %d starts at %d, want %d", chunk, lo, chunk*g)
+				}
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("align=%d sched=%v: index %d covered %d times", align, sched, i, c)
+				}
+			}
+		}
+	}
+}

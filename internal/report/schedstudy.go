@@ -4,54 +4,83 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 )
 
 // SchedStudyRow is one cell of the scheduling-study table (the
 // ROADMAP's "modeled time vs. policy across thread counts" figure):
-// one kernel run under one scheduling policy at one virtual thread
-// count and socket count, with the modeled seconds the figure plots
-// and the wall-clock seconds this host happened to take (0 when not
-// measured). Comparing the dynamic column against steal across the
-// thread axis quantifies where the shared-counter policy serializes
-// and stealing recovers; comparing steal against numa across the
-// socket axis quantifies where flat stealing pays cross-socket
-// penalties that two-level stealing avoids.
+// one kernel run under one scheduling policy, grain policy, and
+// placement model at one virtual thread count and socket count, with
+// the modeled seconds the figure plots, the aggregate charged work
+// (cycles/bytes/atomics summed over the run's regions — the raw
+// quantities the cost model prices, which the CI drift gate diffs at
+// full precision), and the wall-clock seconds this host happened to
+// take (0 when not measured). Comparing the dynamic column against
+// steal across the thread axis quantifies where the shared-counter
+// policy serializes and stealing recovers; comparing steal against
+// numa across the socket axis quantifies where flat stealing pays
+// cross-socket penalties that two-level stealing avoids; and the
+// grain × placement columns show where those locality effects reach
+// *traversal* kernels — fixed grains leave BFS levels with too few
+// chunks to steal at high thread counts, and without the first-touch
+// placement model statically-assigned chunks never pay for
+// remotely-placed data at all.
 type SchedStudyRow struct {
 	Kernel     string
 	Sched      string
+	Grain      string // "fixed" or "adaptive"
+	Placement  string // "none" or "firsttouch"
 	Threads    int
 	Sockets    int
 	Workers    int
 	ModeledSec float64
-	WallSec    float64
+	// Aggregate charged work over the whole run. Penalty charges
+	// (remote steals, remote first-touch reads, dynamic claim atomics)
+	// land here, so these columns drift whenever the cost accounting
+	// does — even when duration rounding or an off-critical-path lane
+	// hides the change from ModeledSec.
+	Cycles  float64
+	Bytes   float64
+	Atomics float64
+	WallSec float64
 }
 
 // SchedStudyCSVHeader is the column layout of WriteSchedStudyCSV.
-const SchedStudyCSVHeader = "kernel,sched,threads,sockets,workers,modeled_s,wall_s"
+const SchedStudyCSVHeader = "kernel,sched,grain,placement,threads,sockets,workers,modeled_s,cycles,bytes,atomics,wall_s"
+
+// csvFloat renders v at the shortest precision that round-trips
+// float64 exactly: readable for humans, bit-faithful for the CI
+// drift gate's byte comparison.
+func csvFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
 
 // WriteSchedStudyCSV writes the scheduling-study table as CSV for
-// external plotting, one row per (kernel, policy, thread count,
-// socket count).
+// external plotting, one row per (kernel, policy, grain, placement,
+// thread count, socket count).
 func WriteSchedStudyCSV(w io.Writer, rows []SchedStudyRow) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, SchedStudyCSVHeader)
 	for _, r := range rows {
-		fmt.Fprintf(bw, "%s,%s,%d,%d,%d,%.9g,%.9g\n",
-			r.Kernel, r.Sched, r.Threads, r.Sockets, r.Workers, r.ModeledSec, r.WallSec)
+		fmt.Fprintf(bw, "%s,%s,%s,%s,%d,%d,%d,%s,%s,%s,%s,%s\n",
+			r.Kernel, r.Sched, r.Grain, r.Placement, r.Threads, r.Sockets, r.Workers,
+			csvFloat(r.ModeledSec), csvFloat(r.Cycles), csvFloat(r.Bytes), csvFloat(r.Atomics),
+			csvFloat(r.WallSec))
 	}
 	return bw.Flush()
 }
 
 // SchedStudyTable renders the same rows as an aligned text table, the
-// quick-look companion to the CSV.
+// quick-look companion to the CSV (charged-work columns omitted; they
+// exist for the drift gate and external plotting).
 func SchedStudyTable(w io.Writer, rows []SchedStudyRow) {
 	var out [][]string
 	for _, r := range rows {
 		out = append(out, []string{
-			r.Kernel, r.Sched, fmt.Sprint(r.Threads), fmt.Sprint(r.Sockets),
+			r.Kernel, r.Sched, r.Grain, r.Placement, fmt.Sprint(r.Threads), fmt.Sprint(r.Sockets),
 			FormatSeconds(r.ModeledSec), FormatSeconds(r.WallSec),
 		})
 	}
-	Table(w, "Scheduling study: modeled seconds by policy, thread count, and sockets",
-		[]string{"kernel", "sched", "threads", "sockets", "modeled_s", "wall_s"}, out)
+	Table(w, "Scheduling study: modeled seconds by policy, grain, placement, threads, and sockets",
+		[]string{"kernel", "sched", "grain", "placement", "threads", "sockets", "modeled_s", "wall_s"}, out)
 }

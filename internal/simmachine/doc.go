@@ -19,6 +19,16 @@
 //     stealLanesTopo), so load imbalance from skewed degree
 //     distributions appears under static scheduling and each policy's
 //     remedy — and its locality price — is modeled;
+//   - grain resolution: Machine.Grain resolves each region's grain
+//     under the fixed (engine-chosen) or adaptive
+//     (frontier-proportional, parallel.AdaptiveGrain of the virtual
+//     thread count) policy — Spec.Grain;
+//   - page placement: an opt-in first-touch model (SetPlacement,
+//     Spec.Placement = "firsttouch") records the socket that first
+//     touches each page of the region index space and charges the
+//     remote-access multiplier when later chunks — under any policy,
+//     statically-assigned ones included — read pages placed on
+//     another socket; see placement.go;
 //   - frequency scaling: single-thread turbo down to all-core base;
 //   - a memory-bandwidth roofline with per-socket limits, so
 //     bandwidth-bound kernels stop scaling once sockets saturate;

@@ -121,6 +121,18 @@ type Machine struct {
 	sockets       int
 	socketsSet    bool
 	remotePenalty float64
+
+	// Grain policy (Spec.Grain): how Machine.Grain resolves region
+	// grains. GrainFixed (the zero value) keeps engine-chosen grains.
+	grainPolicy parallel.GrainPolicy
+
+	// First-touch page-placement model (Spec.Placement): when placeOn,
+	// pageOwner records the socket that first touched each
+	// PlacementPageItems-sized page of the region index space, and
+	// chunks reading remotely-owned pages are charged the remote-access
+	// multiplier under every policy. See placement.go.
+	placeOn   bool
+	pageOwner []int16
 }
 
 // New returns a machine with the given model and virtual thread count.
@@ -350,7 +362,7 @@ func (m *Machine) ParallelForChunks(n, grain int, sched Sched, body func(lo, hi,
 		body(lo, hi, chunk, worker, &w)
 		costs[chunk] = w.c
 	})
-	m.commitRegion(costs, sched)
+	m.commitRegion(costs, sched, n, grain)
 }
 
 // ChargeSerial records a serial region of exactly cost c without
@@ -386,7 +398,7 @@ func (m *Machine) ChargeUniform(n, grain int, sched Sched, per Cost) {
 		}
 		costs[c] = per.Scale(float64(hi - lo))
 	}
-	m.commitRegion(costs, m.effSched(sched))
+	m.commitRegion(costs, m.effSched(sched), n, grain)
 }
 
 // ForEachThread runs one body per virtual thread, passing the thread
@@ -406,11 +418,15 @@ func (m *Machine) ForEachThread(body func(tid int, w *W)) {
 	m.commitLanes(costs)
 }
 
-// commitRegion schedules chunk costs onto virtual lanes and records
-// the region.
-func (m *Machine) commitRegion(costs []Cost, sched Sched) {
+// commitRegion schedules chunk costs onto virtual lanes, applies the
+// first-touch placement charge when the model is active, and records
+// the region. n and grain describe the region's index space (chunk c
+// covers [c*grain, min(n, (c+1)*grain))); the placement model keys
+// page ownership off it.
+func (m *Machine) commitRegion(costs []Cost, sched Sched, n, grain int) {
 	t := m.threads
 	lanes := make([]Cost, t)
+	var execLane []int
 	switch sched {
 	case Static:
 		for i, c := range costs {
@@ -426,7 +442,10 @@ func (m *Machine) commitRegion(costs []Cost, sched Sched) {
 		// count — the serialization the scheduling study quantifies
 		// (work stealing pays this only per successful steal).
 		loads := make([]float64, t)
-		for _, c := range costs {
+		if m.placementActive() {
+			execLane = make([]int, len(costs))
+		}
+		for i, c := range costs {
 			best := 0
 			for l := 1; l < t; l++ {
 				if loads[l] < loads[best] {
@@ -438,15 +457,61 @@ func (m *Machine) commitRegion(costs []Cost, sched Sched) {
 			}
 			lanes[best].Add(c)
 			loads[best] += laneLoad(c, &m.model)
+			if execLane != nil {
+				execLane[i] = best
+			}
 		}
-	case Steal:
-		lanes = stealLanesTopo(costs, t, m.sockets, m.remoteBytesFactor(),
-			m.model.RemoteStealCycles, false, &m.model)
-	case NUMA:
-		lanes = stealLanesTopo(costs, t, m.sockets, m.remoteBytesFactor(),
-			m.model.RemoteStealCycles, true, &m.model)
+	case Steal, NUMA:
+		// With the placement model active, where a chunk's bytes live
+		// is decided by the page-ownership map, not by the steal
+		// simulation's home-is-static-owner assumption — so the
+		// migration bytes multiplier is disabled (factor 1) and ALL
+		// byte-locality charging flows through chargePlacement,
+		// uniformly with the static and dynamic policies (a stolen
+		// chunk must not pay twice for the same remote bytes). The
+		// remote CAS latency stays: it prices the steal operation
+		// itself, not the data.
+		remoteBytes := m.remoteBytesFactor()
+		if m.placementActive() {
+			remoteBytes = 1
+		}
+		lanes, execLane = stealLanesTopo(costs, t, m.sockets, remoteBytes,
+			m.model.RemoteStealCycles, sched == NUMA, m.placementActive(), &m.model)
+	}
+	if m.placementActive() {
+		m.chargePlacement(costs, lanes, execLane, n, grain)
 	}
 	m.commitLanes(lanes)
+}
+
+// chargePlacement walks the region's chunks in ascending index order —
+// the model's deterministic first-touch resolution — recording page
+// ownership and adding the remote-read surcharge to each executing
+// lane. The surcharge is bytes-only and is applied after lane
+// assignment, so it moves the memory roofline without perturbing which
+// lane ran which chunk.
+func (m *Machine) chargePlacement(costs, lanes []Cost, execLane []int, n, grain int) {
+	t := m.threads
+	sockets := m.sockets
+	if sockets > t {
+		sockets = t
+	}
+	per := (t + sockets - 1) / sockets
+	factor := m.remoteBytesFactor()
+	for c := range costs {
+		lo := c * grain
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		l := c % t // Static: the residue-class owner
+		if execLane != nil {
+			l = execLane[c]
+		}
+		if extra := m.touchRange(lo, hi, l/per, costs[c].Bytes, factor); extra > 0 {
+			lanes[l].Bytes += extra
+		}
+	}
 }
 
 // commitLanes converts per-lane costs into a region duration.

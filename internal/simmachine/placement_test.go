@@ -1,0 +1,160 @@
+package simmachine
+
+import "testing"
+
+// placementSeq charges a fixed two-region sequence — a seeding sweep
+// whose chunk partition matches the page size, then a misaligned
+// re-read at half the grain — and returns the modeled elapsed plus the
+// total charged cost. The second region's chunks straddle pages first
+// touched by other lanes, so with more than one socket the first-touch
+// model has remote reads to charge under ANY policy, steals or not.
+func placementSeq(sched Sched, threads, sockets, workers int, place bool, penalty float64) (float64, Cost) {
+	m := New(testModel(), threads)
+	m.SetWorkers(workers)
+	if sockets > 0 {
+		m.SetSockets(sockets)
+	}
+	m.SetPlacement(place)
+	if penalty > 0 {
+		m.SetRemotePenalty(penalty)
+	}
+	per := Cost{Cycles: 3, Bytes: 24}
+	m.ChargeUniform(8*PlacementPageItems, PlacementPageItems, sched, per)
+	m.ChargeUniform(8*PlacementPageItems, PlacementPageItems/2, sched, per)
+	var total Cost
+	for _, r := range m.Trace() {
+		total.Add(r.Cost)
+	}
+	return m.Elapsed(), total
+}
+
+// TestPlacementConservedAcrossPolicies: with the remote multiplier
+// forced to 1, the placement model must be charge-neutral — total
+// charged bytes identical across all four policies (and equal to the
+// placement-off totals), because the surcharge is
+// bytes × remoteShare × (factor − 1). This pins that the model only
+// ever ADDS the remote surcharge: base chunk bytes are conserved, no
+// double-charging, no lost pages.
+func TestPlacementConservedAcrossPolicies(t *testing.T) {
+	_, off := placementSeq(Static, 8, 4, 1, false, 1)
+	for _, sched := range []Sched{Static, Dynamic, Steal, NUMA} {
+		_, got := placementSeq(sched, 8, 4, 1, true, 1)
+		if got.Bytes != off.Bytes {
+			t.Errorf("%v: bytes %v != placement-off %v at unit factor", sched, got.Bytes, off.Bytes)
+		}
+	}
+}
+
+// TestPlacementMonotoneInSockets: under the static policy (no steals
+// at all — the gap this model closes), the charged bytes of the fixed
+// misaligned-read sequence never decrease as the socket count grows:
+// more sockets means more page owners a misaligned chunk can collide
+// with.
+func TestPlacementMonotoneInSockets(t *testing.T) {
+	prev := -1.0
+	for _, sockets := range []int{1, 2, 4, 8} {
+		_, total := placementSeq(Static, 8, sockets, 1, true, 0)
+		if prev >= 0 && total.Bytes < prev {
+			t.Errorf("sockets=%d: bytes %v below sockets-smaller %v — not monotone", sockets, total.Bytes, prev)
+		}
+		prev = total.Bytes
+	}
+	// And the model must actually bite: static at 4 sockets charges
+	// strictly more than at 1 (where everything is local).
+	_, one := placementSeq(Static, 8, 1, 1, true, 0)
+	_, four := placementSeq(Static, 8, 4, 1, true, 0)
+	if four.Bytes <= one.Bytes {
+		t.Errorf("static remote reads uncharged: 4 sockets %v <= 1 socket %v", four.Bytes, one.Bytes)
+	}
+}
+
+// TestPlacementInertAtOneSocketAndOff: the model is a strict
+// extension — at one socket (or disabled) the trace is byte-identical
+// to the historical accounting for every policy.
+func TestPlacementInertAtOneSocketAndOff(t *testing.T) {
+	for _, sched := range []Sched{Static, Dynamic, Steal, NUMA} {
+		offSec, offCost := placementSeq(sched, 8, 1, 1, false, 0)
+		onSec, onCost := placementSeq(sched, 8, 1, 1, true, 0)
+		if offSec != onSec || offCost != onCost {
+			t.Errorf("%v: placement at one socket not inert: %v/%+v vs %v/%+v",
+				sched, onSec, onCost, offSec, offCost)
+		}
+	}
+}
+
+// TestPlacementDurationsIndependentOfWorkers: the placement charge is
+// a pure function of the modeled schedule, so modeled durations and
+// charged costs stay bit-identical at any real worker count.
+func TestPlacementDurationsIndependentOfWorkers(t *testing.T) {
+	for _, sched := range []Sched{Static, Dynamic, Steal, NUMA} {
+		baseSec, baseCost := placementSeq(sched, 8, 4, 1, true, 0)
+		for _, workers := range []int{2, 4, 16} {
+			for rep := 0; rep < 2; rep++ {
+				sec, cost := placementSeq(sched, 8, 4, workers, true, 0)
+				if sec != baseSec || cost != baseCost {
+					t.Fatalf("%v workers=%d: %v/%+v != %v/%+v", sched, workers, sec, cost, baseSec, baseCost)
+				}
+			}
+		}
+	}
+}
+
+// TestPlacementFirstTouchSticky: a static region re-run at the SAME
+// grain touches every page from the socket that first touched it, so
+// repeating it charges nothing extra — first-touch placement rewards
+// schedule-stable access, which is exactly why statically-scheduled
+// OpenMP codes lay data out with first-touch init loops. Ownership
+// also survives Machine.Reset (pages stay placed for the life of the
+// allocation).
+func TestPlacementFirstTouchSticky(t *testing.T) {
+	run := func(place bool) (float64, Cost) {
+		m := New(testModel(), 8)
+		m.SetSockets(4)
+		m.SetPlacement(place)
+		per := Cost{Cycles: 3, Bytes: 24}
+		m.ChargeUniform(8*PlacementPageItems, PlacementPageItems, Static, per)
+		m.Reset()
+		m.ChargeUniform(8*PlacementPageItems, PlacementPageItems, Static, per)
+		var total Cost
+		for _, r := range m.Trace() {
+			total.Add(r.Cost)
+		}
+		return m.Elapsed(), total
+	}
+	offSec, offCost := run(false)
+	onSec, onCost := run(true)
+	if offSec != onSec || offCost != onCost {
+		t.Errorf("same-partition re-run charged a placement penalty: %v/%+v vs %v/%+v",
+			onSec, onCost, offSec, offCost)
+	}
+}
+
+// TestPlacementStiffPenaltyCharges: the Spec.RemotePenalty override
+// reaches the placement surcharge — a stiffer factor charges more
+// bytes on the same misaligned static sequence.
+func TestPlacementStiffPenaltyCharges(t *testing.T) {
+	_, def := placementSeq(Static, 8, 4, 1, true, 0)
+	_, stiff := placementSeq(Static, 8, 4, 1, true, 3)
+	if stiff.Bytes <= def.Bytes {
+		t.Errorf("remote penalty 3 (%v bytes) not above default (%v bytes)", stiff.Bytes, def.Bytes)
+	}
+}
+
+// TestPlacementNeverDoubleCharges: with the placement model active, a
+// chunk's bytes pay the remote multiplier AT MOST once — the steal
+// simulation's own migration-bytes penalty is superseded by the page
+// map, not stacked on it. Total charged bytes under any policy are
+// therefore bounded by serial bytes × factor, even on a sequence
+// engineered so every steal crosses sockets AND reads remotely-owned
+// pages (which under double-charging would exceed the bound).
+func TestPlacementNeverDoubleCharges(t *testing.T) {
+	const factor = 3.0
+	_, serial := placementSeq(Static, 8, 1, 1, false, 0) // base bytes, no penalties
+	for _, sched := range []Sched{Static, Dynamic, Steal, NUMA} {
+		_, got := placementSeq(sched, 8, 4, 1, true, factor)
+		if got.Bytes > serial.Bytes*factor {
+			t.Errorf("%v: charged bytes %v exceed serial %v x factor %v — remote bytes double-charged",
+				sched, got.Bytes, serial.Bytes, factor)
+		}
+	}
+}

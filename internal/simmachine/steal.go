@@ -17,13 +17,17 @@ func laneLoad(c Cost, model *Model) float64 {
 // Steal accounting, preserved byte-for-byte. It is stealLanesTopo on
 // a single socket; there is exactly one copy of the event loop.
 func stealLanes(costs []Cost, t int, model *Model) []Cost {
-	return stealLanesTopo(costs, t, 1, 1, 0, false, model)
+	lanes, _ := stealLanesTopo(costs, t, 1, 1, 0, false, false, model)
+	return lanes
 }
 
 // stealLanesTopo deterministically simulates a work-stealing
 // execution of the chunk costs over t virtual lanes placed on
 // `sockets` consecutive lane blocks, and returns the per-lane cost
-// assignment.
+// assignment plus — when needExec is set — the lane that executed
+// each chunk (for the first-touch placement model's ownership
+// bookkeeping; nil otherwise, sparing the allocation on the common
+// no-placement path).
 //
 // The simulation mirrors the real runtime's discipline
 // (parallel.Steal / parallel.NUMA): lane l starts owning chunks l,
@@ -57,16 +61,17 @@ func stealLanes(costs []Cost, t int, model *Model) []Cost {
 // penalties, model): the RNG seed derives from the region shape only,
 // so modeled durations are bit-identical across runs and real worker
 // counts.
-func stealLanesTopo(costs []Cost, t, sockets int, remoteBytes, remoteSteal float64, twoLevel bool, model *Model) []Cost {
+func stealLanesTopo(costs []Cost, t, sockets int, remoteBytes, remoteSteal float64, twoLevel, needExec bool, model *Model) ([]Cost, []int) {
 	lanes := make([]Cost, t)
-	if len(costs) == 0 {
-		return lanes
+	var execLane []int
+	if needExec {
+		execLane = make([]int, len(costs))
 	}
-	if t == 1 {
+	if len(costs) == 0 || t == 1 {
 		for _, c := range costs {
 			lanes[0].Add(c)
 		}
-		return lanes
+		return lanes, execLane
 	}
 	if sockets < 1 {
 		sockets = 1
@@ -110,6 +115,9 @@ func stealLanesTopo(costs []Cost, t, sockets int, remoteBytes, remoteSteal float
 			head[l]++
 			lanes[l].Add(costs[c])
 			loads[l] += laneLoad(costs[c], model)
+			if needExec {
+				execLane[c] = l
+			}
 			remaining--
 			continue
 		}
@@ -192,7 +200,10 @@ func stealLanesTopo(costs []Cost, t, sockets int, remoteBytes, remoteSteal float
 		lanes[l].Add(c)
 		lanes[l].Add(steal)
 		loads[l] += laneLoad(c, model) + model.AtomicCycles + steal.Cycles
+		if needExec {
+			execLane[cIdx] = l
+		}
 		remaining--
 	}
-	return lanes
+	return lanes, execLane
 }

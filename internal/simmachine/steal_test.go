@@ -305,8 +305,17 @@ func TestStealLanesTopoConservesChunkCosts(t *testing.T) {
 	for _, twoLevel := range []bool{false, true} {
 		for _, threads := range []int{1, 3, 8, 72} {
 			for _, sockets := range []int{1, 2, 4} {
-				lanes := stealLanesTopo(costs, threads, sockets, 1.7, 120, twoLevel, &model)
-				again := stealLanesTopo(costs, threads, sockets, 1.7, 120, twoLevel, &model)
+				lanes, exec := stealLanesTopo(costs, threads, sockets, 1.7, 120, twoLevel, true, &model)
+				again, execAgain := stealLanesTopo(costs, threads, sockets, 1.7, 120, twoLevel, true, &model)
+				for c := range exec {
+					if exec[c] != execAgain[c] {
+						t.Fatalf("twoLevel=%v threads=%d sockets=%d: exec lane of chunk %d not deterministic: %d vs %d",
+							twoLevel, threads, sockets, c, exec[c], execAgain[c])
+					}
+					if exec[c] < 0 || exec[c] >= threads {
+						t.Fatalf("chunk %d executed by out-of-range lane %d", c, exec[c])
+					}
+				}
 				if len(lanes) != threads || len(again) != threads {
 					t.Fatalf("lane count %d/%d, want %d", len(lanes), len(again), threads)
 				}

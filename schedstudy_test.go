@@ -1,5 +1,5 @@
 // Scheduling-study artifact: the ROADMAP's "modeled time vs. policy
-// across thread counts" figure, extended with the locality dimension.
+// across thread counts" figure, extended with the locality dimensions.
 // Gated behind EPG_WRITE_SCHEDFIG=1 (it is a measurement, not a
 // correctness check); run via `make benchfig`, which writes
 // FIG_sched_study.csv. The dynamic column grows with the thread count
@@ -10,17 +10,36 @@
 // the locality model: at sockets > 1 flat stealing (steal) pays
 // remote-steal and remote-chunk-access penalties for every
 // cross-socket steal, while two-level stealing (numa) keeps most
-// steals on-socket — the gap between the two columns at equal sockets
-// is the modeled win of locality-aware victim ordering.
+// steals on-socket. The grain axis re-chunks every region
+// frontier-proportionally (Spec.Grain = "adaptive"), which is what
+// lets the locality columns separate for the *traversal* kernel: at
+// fixed grains BFS levels split into too few chunks to steal at 16/32
+// threads. The placement axis stacks the first-touch page-ownership
+// model on top (Spec.Placement = "firsttouch"), charging
+// remotely-placed resident data under all four policies — static and
+// dynamic now have sockets>1 rows of their own.
+//
+// A second artifact serves CI: FIG_sched_study_ci.csv is the same
+// table pinned to kron-12 with wall-clock zeroed, so it contains only
+// modeled (bit-deterministic) numbers and an exact-match diff is a
+// valid regression gate. `make benchfig-ci` rewrites it; `make
+// benchfig-check` (the sched-study-drift CI job) regenerates the rows
+// and fails on any byte difference — any drift in the cost model,
+// scheduler simulations, grain policy, or placement model shows up as
+// a failing diff tied to the commit that caused it.
 package epg_test
 
 import (
+	"bytes"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
 	"github.com/hpcl-repro/epg/internal/engines"
 	"github.com/hpcl-repro/epg/internal/engines/gap"
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/parallel"
 	"github.com/hpcl-repro/epg/internal/report"
 	"github.com/hpcl-repro/epg/internal/simmachine"
 )
@@ -29,20 +48,129 @@ import (
 // x-axis, plus the 72-thread full machine).
 var schedStudyThreads = []int{1, 2, 4, 8, 16, 32, 64, 72}
 
-// schedStudySockets is the locality axis. Policies without a steal
-// path (static, dynamic) charge no locality penalties, so only their
-// sockets=1 rows are emitted.
-var schedStudySockets = []int{1, 2, 4}
+// schedStudyConfigs is the (grain, placement) axis: the historical
+// fixed-grain table, the adaptive re-chunking alone, and adaptive with
+// the first-touch placement model stacked on top.
+var schedStudyConfigs = []struct {
+	grain     string
+	placement string
+}{
+	{"fixed", "none"},
+	{"adaptive", "none"},
+	{"adaptive", "firsttouch"},
+}
 
 var schedStudyPolicies = []struct {
-	name    string
-	sched   simmachine.Sched
-	sockets []int
+	name  string
+	sched simmachine.Sched
 }{
-	{"static", simmachine.Static, []int{1}},
-	{"dynamic", simmachine.Dynamic, []int{1}},
-	{"steal", simmachine.Steal, schedStudySockets},
-	{"numa", simmachine.NUMA, schedStudySockets},
+	{"static", simmachine.Static},
+	{"dynamic", simmachine.Dynamic},
+	{"steal", simmachine.Steal},
+	{"numa", simmachine.NUMA},
+}
+
+// schedStudySockets returns the socket axis for one (policy,
+// placement) cell. Without placement, static and dynamic have no
+// locality path at all — only their sockets=1 rows are emitted — while
+// the steal policies sweep 1/2/4. With first-touch placement every
+// policy pays locality penalties, so all four sweep the multi-socket
+// points; sockets=1 rows are omitted there because placement is inert
+// on one socket (byte-identical to the "none" rows above them).
+func schedStudySockets(policy, placement string) []int {
+	if placement == "firsttouch" {
+		return []int{2, 4}
+	}
+	if policy == "static" || policy == "dynamic" {
+		return []int{1}
+	}
+	return []int{1, 2, 4}
+}
+
+// generateSchedStudyRows runs GAP BFS and PageRank over the full
+// policy × grain × placement × threads × sockets matrix on el and
+// returns the table. With modeledOnly the two host-dependent columns
+// — wall-clock seconds and the real worker count (min(threads,
+// GOMAXPROCS)) — are zeroed so the output is a pure function of the
+// Spec dimensions (the CI artifact's requirement: the drift gate
+// byte-compares it across machines with different CPU counts);
+// otherwise both record this host's values as convenience columns.
+func generateSchedStudyRows(t *testing.T, el *graph.EdgeList, modeledOnly bool) []report.SchedStudyRow {
+	t.Helper()
+	roots := tuneRootsFor(el, 1)
+	root := roots[0]
+
+	var rows []report.SchedStudyRow
+	for _, kernel := range []string{"BFS", "PR"} {
+		for _, cfg := range schedStudyConfigs {
+			for _, pol := range schedStudyPolicies {
+				for _, sockets := range schedStudySockets(pol.name, cfg.placement) {
+					for _, threads := range schedStudyThreads {
+						m := simmachine.New(simmachine.Haswell72(), threads)
+						m.SetSchedOverride(pol.sched)
+						if sockets > 1 {
+							m.SetSockets(sockets)
+						}
+						if cfg.grain == "adaptive" {
+							m.SetGrainPolicy(parallel.GrainAdaptive)
+						}
+						if cfg.placement == "firsttouch" {
+							m.SetPlacement(true)
+						}
+						instAny, err := gap.New().Load(el, m)
+						if err != nil {
+							t.Fatal(err)
+						}
+						inst := instAny.(*gap.Instance)
+						inst.BuildStructure()
+						m.Reset()
+						run := func() error {
+							if kernel == "BFS" {
+								_, err := inst.BFS(root)
+								return err
+							}
+							_, err := inst.PageRank(engines.DefaultPROpts())
+							return err
+						}
+						start := time.Now()
+						if err := run(); err != nil {
+							t.Fatal(err)
+						}
+						wall := time.Since(start).Seconds()
+						workers := m.Workers()
+						if modeledOnly {
+							wall = 0
+							workers = 0
+						}
+						// Aggregate charged work: the raw quantities the
+						// model prices. Penalty charges land here even
+						// when they miss the critical-path lane, which is
+						// what makes the CI drift gate sensitive to every
+						// cost-accounting change.
+						var total simmachine.Cost
+						for _, reg := range m.Trace() {
+							total.Add(reg.Cost)
+						}
+						rows = append(rows, report.SchedStudyRow{
+							Kernel:     kernel,
+							Sched:      pol.name,
+							Grain:      cfg.grain,
+							Placement:  cfg.placement,
+							Threads:    threads,
+							Sockets:    sockets,
+							Workers:    workers,
+							ModeledSec: m.Elapsed(),
+							Cycles:     total.Cycles,
+							Bytes:      total.Bytes,
+							Atomics:    total.Atomics,
+							WallSec:    wall,
+						})
+					}
+				}
+			}
+		}
+	}
+	return rows
 }
 
 func TestWriteSchedStudy(t *testing.T) {
@@ -53,53 +181,7 @@ func TestWriteSchedStudy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	roots := tuneRootsFor(el, 1)
-	root := roots[0]
-
-	var rows []report.SchedStudyRow
-	for _, kernel := range []string{"BFS", "PR"} {
-		for _, pol := range schedStudyPolicies {
-			for _, sockets := range pol.sockets {
-				for _, threads := range schedStudyThreads {
-					m := simmachine.New(simmachine.Haswell72(), threads)
-					m.SetSchedOverride(pol.sched)
-					if sockets > 1 {
-						m.SetSockets(sockets)
-					}
-					m.SetTracing(false)
-					instAny, err := gap.New().Load(el, m)
-					if err != nil {
-						t.Fatal(err)
-					}
-					inst := instAny.(*gap.Instance)
-					inst.BuildStructure()
-					m.Reset()
-					run := func() error {
-						if kernel == "BFS" {
-							_, err := inst.BFS(root)
-							return err
-						}
-						_, err := inst.PageRank(engines.DefaultPROpts())
-						return err
-					}
-					start := time.Now()
-					if err := run(); err != nil {
-						t.Fatal(err)
-					}
-					rows = append(rows, report.SchedStudyRow{
-						Kernel:     kernel,
-						Sched:      pol.name,
-						Threads:    threads,
-						Sockets:    sockets,
-						Workers:    m.Workers(),
-						ModeledSec: m.Elapsed(),
-						WallSec:    time.Since(start).Seconds(),
-					})
-				}
-			}
-		}
-	}
-
+	rows := generateSchedStudyRows(t, el, false)
 	f, err := os.Create("FIG_sched_study.csv")
 	if err != nil {
 		t.Fatal(err)
@@ -114,6 +196,86 @@ func TestWriteSchedStudy(t *testing.T) {
 	}
 	report.SchedStudyTable(tbl, rows)
 	t.Logf("wrote FIG_sched_study.csv (%d rows, dataset %s)", len(rows), kronName())
+}
+
+// schedStudyCIFile is the committed CI artifact; schedStudyCIDataset
+// pins its scale in code so the gate never silently drifts with
+// EPG_BENCH_SCALE.
+const (
+	schedStudyCIFile    = "FIG_sched_study_ci.csv"
+	schedStudyCIDataset = "kron-12"
+)
+
+// schedStudyCIRows regenerates the pinned-scale, modeled-only table.
+func schedStudyCIRows(t *testing.T) []report.SchedStudyRow {
+	t.Helper()
+	el, err := harnessDataset(schedStudyCIDataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return generateSchedStudyRows(t, el, true)
+}
+
+// TestWriteSchedStudyCI rewrites FIG_sched_study_ci.csv (gated: it is
+// an artifact writer, not a check; run via `make benchfig-ci` after an
+// intentional cost-model change).
+func TestWriteSchedStudyCI(t *testing.T) {
+	if os.Getenv("EPG_WRITE_SCHEDFIG_CI") == "" {
+		t.Skip("set EPG_WRITE_SCHEDFIG_CI=1 (make benchfig-ci) to rewrite FIG_sched_study_ci.csv")
+	}
+	rows := schedStudyCIRows(t)
+	f, err := os.Create(schedStudyCIFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := report.WriteSchedStudyCSV(f, rows); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d rows, dataset %s)", schedStudyCIFile, len(rows), schedStudyCIDataset)
+}
+
+// TestSchedStudyCIDrift is the bench-regression gate (`make
+// benchfig-check`, the sched-study-drift CI job): the regenerated
+// modeled scheduling study must match the committed artifact byte for
+// byte. Modeled costs are bit-deterministic — pure float64 arithmetic
+// over Spec-derived seeds, no wall clock in the table — so an exact
+// diff is valid: any mismatch means a commit changed modeled
+// performance (cost model constants, scheduler simulation, grain
+// policy, placement model) without regenerating the artifact, i.e. an
+// unacknowledged perf change.
+func TestSchedStudyCIDrift(t *testing.T) {
+	if os.Getenv("EPG_SCHEDFIG_CHECK") == "" {
+		t.Skip("set EPG_SCHEDFIG_CHECK=1 (make benchfig-check) to run the sched-study drift gate")
+	}
+	committed, err := os.ReadFile(schedStudyCIFile)
+	if err != nil {
+		t.Fatalf("no committed %s (run `make benchfig-ci` and commit it): %v", schedStudyCIFile, err)
+	}
+	rows := schedStudyCIRows(t)
+	var regenerated bytes.Buffer
+	if err := report.WriteSchedStudyCSV(&regenerated, rows); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(regenerated.Bytes(), committed) {
+		t.Logf("%s matches the regenerated study exactly (%d rows)", schedStudyCIFile, len(rows))
+		return
+	}
+	got := strings.Split(strings.TrimRight(regenerated.String(), "\n"), "\n")
+	want := strings.Split(strings.TrimRight(string(committed), "\n"), "\n")
+	if len(got) != len(want) {
+		t.Errorf("row count drifted: regenerated %d lines, committed %d", len(got), len(want))
+	}
+	shown := 0
+	for i := 0; i < len(got) && i < len(want) && shown < 5; i++ {
+		if got[i] != want[i] {
+			t.Errorf("line %d drifted:\n  committed:   %s\n  regenerated: %s", i+1, want[i], got[i])
+			shown++
+		}
+	}
+	t.Fatalf("%s drifted from the regenerated modeled study: a change moved modeled "+
+		"performance; if intentional, run `make benchfig-ci` and commit the new artifact "+
+		"(and `make benchfig` for the full-scale figure)", schedStudyCIFile)
 }
 
 // testWriter adapts t.Logf to io.Writer for the quick-look table.
