@@ -4,11 +4,14 @@
 # property-fuzz targets for FUZZTIME each; `make bench` regenerates
 # the paper's tables and figures once; `make baseline` rewrites
 # BENCH_baseline.json; `make benchfig` rewrites the scheduling-study
-# CSV (FIG_sched_study.csv, policy x grain x placement x threads x
-# sockets); `make benchfig-ci` rewrites its pinned-scale, modeled-only
-# sibling FIG_sched_study_ci.csv; `make benchfig-check` is the
+# CSV (FIG_sched_study.csv, policy x grain x placement x freq x
+# threads x sockets, with modeled joules and energy-delay-product
+# columns from the RAPL-analogue power model); `make benchfig-ci`
+# rewrites its pinned-scale, modeled-only sibling
+# FIG_sched_study_ci.csv; `make benchfig-check` is the
 # bench-regression gate that fails when the regenerated modeled study
-# drifts from the committed artifact.
+# -- times, cost counters, or joules -- drifts from the committed
+# artifact.
 
 GO ?= go
 FUZZTIME ?= 20s

@@ -1,7 +1,10 @@
 // Command epg-power reproduces the paper's power and energy study:
-// Table III (time, average power, energy, sleep baseline, increase
-// over sleep, per BFS root) and Fig. 9 (CPU and RAM power box plots),
-// using the RAPL-analogue energy model.
+// Table III (time, average power, energy, energy-delay product, sleep
+// baseline, increase over sleep, per BFS root) and Fig. 9 (CPU and RAM
+// power box plots), using the RAPL-analogue energy model. With
+// -freq-sweep it additionally runs every modeled DVFS operating point
+// and tabulates joules and EDP per state — the modern question the
+// paper's fixed-governor table cannot answer.
 package main
 
 import (
@@ -13,10 +16,12 @@ import (
 )
 
 func main() {
-	dataset := flag.String("dataset", "kron-16", "dataset (the paper uses kron-22)")
+	dataset := flag.String("dataset", "kron-16", "dataset (the paper uses kron-22; kron-16 keeps laptop runtimes — absolute joules are NOT comparable to Table III)")
 	threads := flag.Int("threads", 32, "virtual thread count")
 	roots := flag.Int("roots", 32, "BFS roots")
 	seed := flag.Uint64("seed", 1, "seed")
+	freq := flag.String("freq", "", "modeled DVFS operating point: turbo (default), balanced, or powersave")
+	freqSweep := flag.Bool("freq-sweep", false, "run all three frequency states and tabulate joules + EDP per state")
 	flag.Parse()
 
 	s := epg.NewSuite(epg.Options{Seed: *seed})
@@ -24,14 +29,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	results, err := s.Run(epg.Spec{
+	spec := epg.Spec{
 		Dataset:      *dataset,
 		Algorithm:    epg.BFS,
 		Threads:      *threads,
 		Roots:        *roots,
 		Seed:         *seed,
 		MeasurePower: true,
-	}, g)
+		FreqState:    *freq,
+	}
+	results, err := s.Run(spec, g)
 	if err != nil {
 		fatal(err)
 	}
@@ -41,6 +48,27 @@ func main() {
 	s.RenderEnergyTable(os.Stdout, results)
 	fmt.Println()
 	s.RenderPowerFigure(os.Stdout, results)
+
+	if !*freqSweep {
+		return
+	}
+	fmt.Printf("\nDVFS sweep (means over %d roots):\n", *roots)
+	fmt.Printf("%-10s %12s %12s %14s\n", "freq", "time (s)", "energy (J)", "EDP (J*s)")
+	for _, state := range []string{epg.FreqTurbo, epg.FreqBalanced, epg.FreqPowersave} {
+		sw := spec
+		sw.FreqState = state
+		rs, err := s.Run(sw, g)
+		if err != nil {
+			fatal(err)
+		}
+		var sec, joules float64
+		for _, r := range rs {
+			sec += r.AlgorithmSec
+			joules += r.CPUJoules + r.RAMJoules
+		}
+		n := float64(len(rs))
+		fmt.Printf("%-10s %12.5g %12.5g %14.5g\n", state, sec/n, joules/n, (joules/n)*(sec/n))
+	}
 }
 
 func fatal(err error) {

@@ -148,6 +148,7 @@ func cmdRun(args []string) error {
 	remotePenalty := fs.Float64("remote-penalty", 0, "remote-chunk-access bytes multiplier (0 = model default)")
 	grain := fs.String("grain", "", "region grain policy: fixed (engine defaults) or adaptive (frontier-proportional)")
 	placement := fs.String("placement", "", "locality model for resident data: none (steals only) or firsttouch (page ownership; needs -sockets > 1)")
+	freq := fs.String("freq", "", "modeled DVFS operating point: turbo (default), balanced, or powersave — scales core clocks and CPU dynamic power together")
 	syncSSSP := fs.Bool("sync-sssp", false, "synchronous deterministic SSSP in GAP and GraphBIG")
 	fs.Parse(args)
 
@@ -168,6 +169,7 @@ func cmdRun(args []string) error {
 		RemotePenalty: *remotePenalty,
 		Grain:         *grain,
 		Placement:     *placement,
+		FreqState:     *freq,
 		SyncSSSP:      *syncSSSP,
 	}
 	if *enginesFlag != "" {

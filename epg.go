@@ -92,6 +92,19 @@ const (
 	PlacementFirstTouch = core.PlacementFirstTouch
 )
 
+// Frequency states for Spec.FreqState. FreqTurbo (the default) is the
+// historical calibration; FreqBalanced and FreqPowersave model lower
+// DVFS operating points — core clocks scaled down, CPU-plane dynamic
+// power scaled down superlinearly (voltage–frequency coupling), DRAM
+// plane untouched. Both modeled seconds and modeled joules respond,
+// so sweeping the states answers which configuration is fastest per
+// joule (and which minimizes energy-delay product).
+const (
+	FreqTurbo     = core.FreqTurbo
+	FreqBalanced  = core.FreqBalanced
+	FreqPowersave = core.FreqPowersave
+)
+
 // Result is one measured run with its phase breakdown.
 type Result = core.Result
 

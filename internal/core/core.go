@@ -98,6 +98,16 @@ type Spec struct {
 	// touched on another socket. Requires Sockets > 1 to have any
 	// effect.
 	Placement string
+	// FreqState selects the modeled DVFS operating point (power
+	// package): FreqTurbo (empty/default) keeps the calibration every
+	// artifact historically used; FreqBalanced and FreqPowersave scale
+	// the core clocks down and the CPU-plane dynamic power constants
+	// superlinearly down (voltage–frequency coupling), stretching
+	// compute-bound regions while memory-bound ones ride the unchanged
+	// DRAM roofline. The scalings reach both the machine model and the
+	// power constants, so modeled seconds AND joules move together —
+	// the axis the energy study sweeps.
+	FreqState string
 	// SyncSSSP switches GAP's delta-stepping and GraphBIG's
 	// relaxation to their synchronous bucket/round-barrier modes,
 	// making their parents, relaxation counts, and modeled durations
@@ -144,6 +154,21 @@ const (
 	PlacementFirstTouch = "firsttouch"
 )
 
+// Frequency-state names for Spec.FreqState. The scalings live in the
+// power package (power.FreqStateByName); these are the Spec-level
+// names, validated here like the other knobs.
+const (
+	// FreqTurbo is the default operating point: no scaling, the
+	// historical calibration.
+	FreqTurbo = "turbo"
+	// FreqBalanced runs the cores at 0.8× clock with dynamic power
+	// scaled by voltage–frequency coupling.
+	FreqBalanced = "balanced"
+	// FreqPowersave runs the cores at 0.6× clock, the deepest modeled
+	// P-state.
+	FreqPowersave = "powersave"
+)
+
 // NumRoots returns the effective root count.
 func (s Spec) NumRoots() int {
 	if s.Roots > 0 {
@@ -180,6 +205,12 @@ func (s Spec) Validate() error {
 	default:
 		return fmt.Errorf("core: unknown placement model %q (want %q or %q)",
 			s.Placement, PlacementNone, PlacementFirstTouch)
+	}
+	switch s.FreqState {
+	case "", FreqTurbo, FreqBalanced, FreqPowersave:
+	default:
+		return fmt.Errorf("core: unknown frequency state %q (want %q, %q or %q)",
+			s.FreqState, FreqTurbo, FreqBalanced, FreqPowersave)
 	}
 	if s.Sockets < 0 {
 		return fmt.Errorf("core: spec needs sockets >= 0, got %d", s.Sockets)

@@ -24,6 +24,22 @@ func TestSpecValidate(t *testing.T) {
 	}
 }
 
+func TestSpecValidateFreqState(t *testing.T) {
+	s := Spec{Dataset: "kron-16", Algorithm: engines.BFS, Threads: 32}
+	for _, freq := range []string{"", FreqTurbo, FreqBalanced, FreqPowersave} {
+		s.FreqState = freq
+		if err := s.Validate(); err != nil {
+			t.Errorf("freq %q rejected: %v", freq, err)
+		}
+	}
+	for _, freq := range []string{"overclocked", "Turbo", "TURBO", "power-save"} {
+		s.FreqState = freq
+		if err := s.Validate(); err == nil {
+			t.Errorf("freq %q accepted", freq)
+		}
+	}
+}
+
 func TestNumRootsDefault(t *testing.T) {
 	if got := (Spec{}).NumRoots(); got != DefaultRoots {
 		t.Errorf("default roots = %d, want %d", got, DefaultRoots)

@@ -31,6 +31,7 @@ import (
 	"github.com/hpcl-repro/epg/internal/harness"
 	"github.com/hpcl-repro/epg/internal/kronecker"
 	"github.com/hpcl-repro/epg/internal/parallel"
+	"github.com/hpcl-repro/epg/internal/power"
 	"github.com/hpcl-repro/epg/internal/simmachine"
 )
 
@@ -39,10 +40,16 @@ import (
 // legal: goroutines are multiplexed.
 var workerCounts = []int{1, 2, 4}
 
-// kernelRun is one engine execution with its observables.
+// kernelRun is one engine execution with its observables. The joules
+// are the power model integrated over the run's region trace
+// (power.MeasureTrace with the default calibration): a pure function
+// of the modeled schedule, so the determinism walls pin them exactly
+// like durations.
 type kernelRun struct {
 	durations []float64 // per-region modeled seconds, in order
 	elapsed   float64
+	cpuJoules float64
+	ramJoules float64
 	out       any
 }
 
@@ -100,13 +107,22 @@ func runKernelOpts(t *testing.T, name string, alg engines.Algorithm, el *graph.E
 	for _, r := range m.Trace() {
 		durations = append(durations, r.Seconds)
 	}
-	return kernelRun{durations: durations, elapsed: m.Elapsed(), out: out}
+	rd := power.DefaultConstants().MeasureTrace(m.Trace())
+	return kernelRun{
+		durations: durations, elapsed: m.Elapsed(),
+		cpuJoules: rd.CPUJoules, ramJoules: rd.RAMJoules, out: out,
+	}
 }
 
 func sameDurations(t *testing.T, label string, a, b kernelRun) {
 	t.Helper()
 	if a.elapsed != b.elapsed {
 		t.Errorf("%s: modeled elapsed differs: %v vs %v", label, a.elapsed, b.elapsed)
+	}
+	if math.Float64bits(a.cpuJoules) != math.Float64bits(b.cpuJoules) ||
+		math.Float64bits(a.ramJoules) != math.Float64bits(b.ramJoules) {
+		t.Errorf("%s: modeled joules differ: (%v cpu, %v ram) vs (%v cpu, %v ram)",
+			label, a.cpuJoules, a.ramJoules, b.cpuJoules, b.ramJoules)
 	}
 	if len(a.durations) != len(b.durations) {
 		t.Errorf("%s: region count differs: %d vs %d", label, len(a.durations), len(b.durations))

@@ -19,6 +19,21 @@
 // synchronous deterministic SSSP modes. Spec.Workers bounds the real
 // goroutines and never affects results or modeled durations.
 //
+// Energy flows through the same pipeline as time. With
+// Spec.MeasurePower set, the harness opens a power.RAPL window
+// around each algorithm run; RAPL evaluates the calibrated power
+// model (power.Constants) over the machine's region trace and the
+// resulting CPU/RAM joules and average watts land in core.Result
+// next to the phase times — consumed downstream by report.EnergyTable
+// (Table III), report.PowerFigure (Fig. 9), the scheduling study's
+// joules/EDP columns, and cmd/epg-power. Spec.FreqState selects a
+// modeled DVFS operating point (turbo / balanced / powersave): it
+// scales the machine's core clocks and the CPU-plane dynamic power
+// constants together (lane power ~ clock cubed, per-event energy ~
+// clock squared) before the machine is built, so one knob moves both
+// the time and the energy sides of the trade. Idle draws and the
+// DRAM plane are never scaled — race-to-idle stays representable.
+//
 // Known fidelity gaps: the original framework shells out to five
 // separately-built binaries and parses their logs; here the engines
 // are in-process libraries and the "log" path is exercised via

@@ -104,7 +104,18 @@ func (r *Runner) runEngine(spec core.Spec, el *graph.EdgeList, name string, root
 			s.SetSyncSSSP(true)
 		}
 	}
-	m := simmachine.New(r.Model, spec.Threads)
+	// The DVFS operating point scales the machine model (core clocks)
+	// and the power calibration (CPU-plane dynamic constants) as a
+	// pair: modeled seconds and joules move together, the way a real
+	// governor change shifts both sides of the energy-delay trade.
+	model, pconsts := r.Model, r.Power
+	freq, err := power.FreqStateByName(spec.FreqState)
+	if err != nil {
+		return nil, err
+	}
+	model = freq.ScaleModel(model)
+	pconsts = freq.ScaleConstants(pconsts)
+	m := simmachine.New(model, spec.Threads)
 	if spec.Workers > 0 {
 		m.SetWorkers(spec.Workers)
 	}
@@ -165,7 +176,7 @@ func (r *Runner) runEngine(spec core.Spec, el *graph.EdgeList, name string, root
 		}
 		var meter *power.RAPL
 		if spec.MeasurePower {
-			meter = power.NewRAPL(m, r.Power)
+			meter = power.NewRAPL(m, pconsts)
 			meter.Start()
 		}
 		_, t0 := m.Mark()

@@ -1,0 +1,88 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcl-repro/epg/internal/simmachine"
+)
+
+// placementEnergy mirrors the placementSeq workload from
+// simmachine/placement_test.go — a page-aligned seeding sweep followed
+// by a misaligned re-read at half the grain, so every policy at >1
+// socket has remote reads to charge — and returns the RAPL reading
+// plus the total bytes the trace charged.
+func placementEnergy(sched simmachine.Sched, sockets int, place bool, penalty float64) (Reading, float64) {
+	m := simmachine.New(simmachine.Haswell72(), 8)
+	if sockets > 0 {
+		m.SetSockets(sockets)
+	}
+	m.SetPlacement(place)
+	if penalty > 0 {
+		m.SetRemotePenalty(penalty)
+	}
+	r := NewRAPL(m, DefaultConstants())
+	r.Start()
+	per := simmachine.Cost{Cycles: 3, Bytes: 24}
+	m.ChargeUniform(8*simmachine.PlacementPageItems, simmachine.PlacementPageItems, sched, per)
+	m.ChargeUniform(8*simmachine.PlacementPageItems, simmachine.PlacementPageItems/2, sched, per)
+	var bytes float64
+	for _, reg := range m.Trace() {
+		bytes += reg.Cost.Bytes
+	}
+	return r.End(), bytes
+}
+
+// ramDynamic isolates the DRAM-plane dynamic energy from a reading.
+// In the model it is exactly BandwidthWatts × bytes / 1e9 — the region
+// seconds cancel — which is what makes it the right probe for byte
+// accounting: every charged byte appears in it exactly once, scaled by
+// one constant.
+func ramDynamic(rd Reading) float64 {
+	return rd.RAMJoules - DefaultConstants().RAMIdleWatts*rd.Seconds
+}
+
+// TestEnergyPlacementSingleCharge is the energy analogue of
+// simmachine's TestPlacementNeverDoubleCharges: under first-touch
+// placement each remote byte may pay the remote multiplier AT MOST
+// once before it reaches the power integral. With factor 3, the
+// DRAM-plane dynamic joules under every policy are bounded by
+// factor × the serial no-penalty baseline; stacking the steal
+// simulation's migration surcharge on top of the page-map surcharge
+// would break the bound.
+func TestEnergyPlacementSingleCharge(t *testing.T) {
+	const factor = 3.0
+	serialRd, serialBytes := placementEnergy(simmachine.Static, 1, false, 0)
+	serialDyn := ramDynamic(serialRd)
+	if serialDyn <= 0 {
+		t.Fatalf("serial baseline has no DRAM dynamic energy: %v J", serialDyn)
+	}
+	for _, sched := range []simmachine.Sched{simmachine.Static, simmachine.Dynamic, simmachine.Steal, simmachine.NUMA} {
+		rd, bytes := placementEnergy(sched, 4, true, factor)
+		dyn := ramDynamic(rd)
+		if dyn > serialDyn*factor*(1+1e-12) {
+			t.Errorf("%v: DRAM dynamic %v J exceeds serial %v J x factor %v — remote bytes double-charged into joules",
+				sched, dyn, serialDyn, factor)
+		}
+		// The joules must integrate the SAME bytes the trace charged:
+		// dyn = BandwidthWatts × bytes/1e9 within float tolerance, so
+		// the power path cannot re-apply its own remote surcharge.
+		want := DefaultConstants().BandwidthWatts * bytes / 1e9
+		if math.Abs(dyn-want) > 1e-9*want {
+			t.Errorf("%v: DRAM dynamic %v J != BandwidthWatts x traced bytes %v J — power path re-scales bytes",
+				sched, dyn, want)
+		}
+	}
+	// And at unit factor the surcharge vanishes: every policy's
+	// DRAM-plane dynamic energy collapses to the serial baseline,
+	// proving base bytes are conserved (nothing lost, nothing doubled).
+	for _, sched := range []simmachine.Sched{simmachine.Static, simmachine.Dynamic, simmachine.Steal, simmachine.NUMA} {
+		rd, bytes := placementEnergy(sched, 4, true, 1)
+		if bytes != serialBytes {
+			t.Errorf("%v: unit-factor bytes %v != serial %v", sched, bytes, serialBytes)
+		}
+		if dyn := ramDynamic(rd); math.Abs(dyn-serialDyn) > 1e-9*serialDyn {
+			t.Errorf("%v: unit-factor DRAM dynamic %v J != serial %v J", sched, dyn, serialDyn)
+		}
+	}
+}

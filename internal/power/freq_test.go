@@ -1,0 +1,208 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/hpcl-repro/epg/internal/simmachine"
+)
+
+func TestFreqStateLookup(t *testing.T) {
+	def, err := FreqStateByName("")
+	if err != nil || def.Name != "turbo" {
+		t.Fatalf("empty name = %+v, %v; want turbo", def, err)
+	}
+	for _, f := range FreqStates() {
+		got, err := FreqStateByName(f.Name)
+		if err != nil || got != f {
+			t.Errorf("FreqStateByName(%q) = %+v, %v", f.Name, got, err)
+		}
+	}
+	if _, err := FreqStateByName("overclocked"); err == nil {
+		t.Error("unknown state accepted")
+	}
+}
+
+// TestFreqTurboIsIdentity: the default operating point must reproduce
+// the historical calibration bit for bit — every artifact regenerated
+// before the frequency axis existed depends on it.
+func TestFreqTurboIsIdentity(t *testing.T) {
+	turbo, _ := FreqStateByName("turbo")
+	if m := turbo.ScaleModel(simmachine.Haswell72()); m != simmachine.Haswell72() {
+		t.Errorf("turbo scaled the model: %+v", m)
+	}
+	if c := turbo.ScaleConstants(DefaultConstants()); c != DefaultConstants() {
+		t.Errorf("turbo scaled the constants: %+v", c)
+	}
+}
+
+// TestFreqStatesOrderedAndCoupled: states are listed fastest first,
+// clocks drop monotonically, and the power scalings follow
+// voltage–frequency coupling (LanePower = Clock³, CyclePower = Clock²
+// within float tolerance) — the physical constraint that makes the
+// modeled trade-off honest.
+func TestFreqStatesOrderedAndCoupled(t *testing.T) {
+	states := FreqStates()
+	for i, f := range states {
+		if f.Clock <= 0 || f.Clock > 1 {
+			t.Errorf("%s: clock %v outside (0, 1]", f.Name, f.Clock)
+		}
+		if i > 0 && f.Clock >= states[i-1].Clock {
+			t.Errorf("%s: clock %v not below %s's %v", f.Name, f.Clock, states[i-1].Name, states[i-1].Clock)
+		}
+		if math.Abs(f.LanePower-f.Clock*f.Clock*f.Clock) > 1e-12 {
+			t.Errorf("%s: LanePower %v != Clock³ %v", f.Name, f.LanePower, f.Clock*f.Clock*f.Clock)
+		}
+		if math.Abs(f.CyclePower-f.Clock*f.Clock) > 1e-12 {
+			t.Errorf("%s: CyclePower %v != Clock² %v", f.Name, f.CyclePower, f.Clock*f.Clock)
+		}
+	}
+}
+
+// runBusy charges a mixed compute+memory region on a machine at the
+// given operating point and returns (modeled seconds, reading).
+func runBusy(f FreqState) (float64, Reading) {
+	m := simmachine.New(f.ScaleModel(simmachine.Haswell72()), 16)
+	r := NewRAPL(m, f.ScaleConstants(DefaultConstants()))
+	r.Start()
+	m.ParallelFor(16, 1, simmachine.Static, func(lo, hi int, w *simmachine.W) {
+		w.Cycles(1e8)
+		w.Atomics(1e4)
+		w.Bytes(1e6)
+	})
+	m.Serial(func(w *simmachine.W) { w.Cycles(3.6e8) })
+	return m.Elapsed(), r.End()
+}
+
+// TestFreqScalingTrade: lower operating points must stretch
+// compute-bound modeled time and lower average CPU power, leave the
+// DRAM-plane energy untouched (same bytes, unchanged BandwidthWatts),
+// and reduce CPU *dynamic* energy (per-event energy ∝ V² ≈ Clock²).
+// Total CPU joules may rise — the unscaled idle draw accrues over the
+// stretched runtime, which is exactly the race-to-idle effect the
+// study's EDP column weighs; EDP must stay finite and positive.
+func TestFreqScalingTrade(t *testing.T) {
+	states := FreqStates()
+	prevSec, prevWatts := 0.0, math.Inf(1)
+	base, _ := FreqStateByName("")
+	_, baseRd := runBusy(base)
+	for _, f := range states {
+		sec, rd := runBusy(f)
+		if sec <= 0 || rd.EDP() <= 0 {
+			t.Fatalf("%s: degenerate run: %v s, EDP %v", f.Name, sec, rd.EDP())
+		}
+		if sec < prevSec {
+			t.Errorf("%s: modeled %v s faster than the higher state's %v s", f.Name, sec, prevSec)
+		}
+		if w := rd.AvgCPUWatts(); w >= prevWatts {
+			t.Errorf("%s: avg cpu %v W not below the higher state's %v W", f.Name, w, prevWatts)
+		}
+		ramDyn := rd.RAMJoules - DefaultConstants().RAMIdleWatts*rd.Seconds
+		baseRAMDyn := baseRd.RAMJoules - DefaultConstants().RAMIdleWatts*baseRd.Seconds
+		if math.Abs(ramDyn-baseRAMDyn) > 1e-9*math.Abs(baseRAMDyn) {
+			t.Errorf("%s: DRAM dynamic energy %v J drifted from turbo's %v J — same bytes must cost the same",
+				f.Name, ramDyn, baseRAMDyn)
+		}
+		cpuDyn := rd.CPUJoules - DefaultConstants().CPUIdleWatts*rd.Seconds
+		baseCPUDyn := baseRd.CPUJoules - DefaultConstants().CPUIdleWatts*baseRd.Seconds
+		if f.Name != "turbo" && cpuDyn >= baseCPUDyn {
+			t.Errorf("%s: cpu dynamic energy %v J not below turbo's %v J", f.Name, cpuDyn, baseCPUDyn)
+		}
+		prevSec, prevWatts = sec, rd.AvgCPUWatts()
+	}
+}
+
+// TestFreqPerturbationMovesJoules: a one-constant perturbation of the
+// power calibration (LaneWatts 1.55 → 1.56) must move the measured
+// joules of a busy trace — the property the scheduling-study drift
+// gate relies on to catch silent power-model changes (the CSV stores
+// joules at full round-trip precision).
+func TestFreqPerturbationMovesJoules(t *testing.T) {
+	m := simmachine.New(simmachine.Haswell72(), 16)
+	m.ParallelFor(16, 1, simmachine.Static, func(lo, hi int, w *simmachine.W) {
+		w.Cycles(1e8)
+	})
+	base := DefaultConstants().MeasureTrace(m.Trace())
+	perturbed := DefaultConstants()
+	perturbed.LaneWatts = 1.56
+	got := perturbed.MeasureTrace(m.Trace())
+	if math.Float64bits(got.CPUJoules) == math.Float64bits(base.CPUJoules) {
+		t.Errorf("LaneWatts 1.55→1.56 left cpu joules unchanged at %v", base.CPUJoules)
+	}
+}
+
+// TestRAPLEndAcrossResetPanics is the regression test for the
+// window/Reset hazard: End() used to slice the trace with a cursor
+// captured before Reset truncated it — an out-of-range slice when the
+// new trace is shorter, or a silently wrong reading when enough new
+// regions had accumulated. Both cases must now fail loudly.
+func TestRAPLEndAcrossResetPanics(t *testing.T) {
+	m := machine(2)
+	c := DefaultConstants()
+	burn := func() { m.Serial(func(w *simmachine.W) { w.Cycles(1e6) }) }
+
+	burn() // startIdx > 0, so post-Reset traces can silently re-cover it
+	r := NewRAPL(m, c)
+	r.Start()
+	burn()
+	m.Reset()
+	burn()
+	burn() // trace long enough that the stale slice would be in range
+
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("End() across Machine.Reset did not panic")
+		}
+		if msg, ok := rec.(string); !ok || !strings.Contains(msg, "Reset") {
+			t.Errorf("panic %v does not name the Reset hazard", rec)
+		}
+	}()
+	r.End()
+}
+
+// TestRAPLStartRequiresTracing: with trace retention off the window
+// would integrate nothing and report zero joules over positive
+// seconds; Start must refuse.
+func TestRAPLStartRequiresTracing(t *testing.T) {
+	m := machine(1)
+	m.SetTracing(false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Start() with tracing disabled did not panic")
+		}
+	}()
+	NewRAPL(m, DefaultConstants()).Start()
+}
+
+// TestReadingEdgeCases: degenerate windows must degrade to zeros, not
+// NaNs or infinities — Seconds <= 0 (including the negative seconds a
+// corrupted window could produce), the empty window, and End() without
+// Start() (covered again here alongside its sibling cases).
+func TestReadingEdgeCases(t *testing.T) {
+	for _, rd := range []Reading{
+		{},
+		{Seconds: 0, CPUJoules: 5, RAMJoules: 5},
+		{Seconds: -1, CPUJoules: 5, RAMJoules: 5},
+	} {
+		if w := rd.AvgWatts(); w != 0 {
+			t.Errorf("AvgWatts(%+v) = %v, want 0", rd, w)
+		}
+		if w := rd.AvgCPUWatts(); w != 0 {
+			t.Errorf("AvgCPUWatts(%+v) = %v, want 0", rd, w)
+		}
+		if w := rd.AvgRAMWatts(); w != 0 {
+			t.Errorf("AvgRAMWatts(%+v) = %v, want 0", rd, w)
+		}
+		if e := rd.EDP(); e != 0 {
+			t.Errorf("EDP(%+v) = %v, want 0", rd, e)
+		}
+	}
+	if rd := NewRAPL(machine(1), DefaultConstants()).End(); rd != (Reading{}) {
+		t.Errorf("End() without Start() = %+v, want zero reading", rd)
+	}
+	if rd := (Constants{}).MeasureTrace(nil); rd != (Reading{}) {
+		t.Errorf("MeasureTrace(nil) = %+v, want zero reading", rd)
+	}
+}

@@ -79,6 +79,24 @@ func (c Constants) regionPower(r simmachine.Region) (float64, float64) {
 	return cpu, ram
 }
 
+// MeasureTrace integrates the power model over a slice of trace
+// regions and returns the reading: the window's seconds are the sum of
+// region durations, and each region contributes watts × seconds per
+// plane. This is the single evaluation path — RAPL windows and the
+// scheduling study's per-run joules both flow through it — so every
+// consumer prices a region identically. The result is a pure function
+// of (c, regions): bit-deterministic and host-independent.
+func (c Constants) MeasureTrace(regions []simmachine.Region) Reading {
+	var rd Reading
+	for _, reg := range regions {
+		cpuW, ramW := c.regionPower(reg)
+		rd.Seconds += reg.Seconds
+		rd.CPUJoules += cpuW * reg.Seconds
+		rd.RAMJoules += ramW * reg.Seconds
+	}
+	return rd
+}
+
 // Reading is the result of one measurement window, in the units PAPI
 // reports (joules; derived averages in watts).
 type Reading struct {
@@ -89,6 +107,17 @@ type Reading struct {
 
 // TotalJoules returns package + DRAM energy.
 func (r Reading) TotalJoules() float64 { return r.CPUJoules + r.RAMJoules }
+
+// EDP returns the window's energy-delay product (total joules ×
+// seconds), the metric that rewards being fast AND frugal: a slower
+// frequency state only wins EDP when its energy saving outpaces its
+// slowdown. Zero or negative windows have no meaningful delay.
+func (r Reading) EDP() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return r.TotalJoules() * r.Seconds
+}
 
 // AvgCPUWatts returns mean package power over the window.
 func (r Reading) AvgCPUWatts() float64 {
@@ -124,13 +153,17 @@ func (r Reading) Print(w io.Writer) {
 }
 
 // RAPL is a measurement session bound to a machine, mirroring the
-// power_rapl_t of the paper's Fig. 10.
+// power_rapl_t of the paper's Fig. 10. A window is a pair of trace
+// cursors on one machine; the machine must keep tracing enabled and
+// must not be Reset while a window is open — both would silently
+// corrupt the energy integral, so Start and End fail loudly (panic)
+// instead.
 type RAPL struct {
-	m         *simmachine.Machine
-	c         Constants
-	startIdx  int
-	startTime float64
-	running   bool
+	m        *simmachine.Machine
+	c        Constants
+	startIdx int
+	startGen uint64
+	running  bool
 }
 
 // NewRAPL initializes a session (power_rapl_init).
@@ -138,27 +171,33 @@ func NewRAPL(m *simmachine.Machine, c Constants) *RAPL {
 	return &RAPL{m: m, c: c}
 }
 
-// Start begins a measurement window (power_rapl_start).
+// Start begins a measurement window (power_rapl_start). It panics if
+// trace retention is disabled: with no regions recorded the window
+// would report positive seconds and zero joules.
 func (p *RAPL) Start() {
-	p.startIdx, p.startTime = p.m.Mark()
+	if !p.m.Tracing() {
+		panic("power: RAPL.Start with machine tracing disabled — the energy integral needs the region trace (simmachine.Machine.SetTracing)")
+	}
+	p.startIdx, _ = p.m.Mark()
+	p.startGen = p.m.Generation()
 	p.running = true
 }
 
-// End closes the window and returns its reading (power_rapl_end).
+// End closes the window and returns its reading (power_rapl_end). It
+// panics if the machine was Reset inside the window: the start cursor
+// indexes a truncated trace, so the slice would be out of range or —
+// worse — a silently wrong reading. Measure around Reset, not across
+// it.
 func (p *RAPL) End() Reading {
 	if !p.running {
 		return Reading{}
 	}
 	p.running = false
-	endIdx, endTime := p.m.Mark()
-	trace := p.m.Trace()
-	rd := Reading{Seconds: endTime - p.startTime}
-	for _, reg := range trace[p.startIdx:endIdx] {
-		cpuW, ramW := p.c.regionPower(reg)
-		rd.CPUJoules += cpuW * reg.Seconds
-		rd.RAMJoules += ramW * reg.Seconds
+	if gen := p.m.Generation(); gen != p.startGen {
+		panic("power: RAPL window spans a Machine.Reset — the start cursor indexes a discarded trace generation; End() before Reset, or Start() after it")
 	}
-	return rd
+	endIdx, _ := p.m.Mark()
+	return p.c.MeasureTrace(p.m.Trace()[p.startIdx:endIdx])
 }
 
 // MeasureSleep reproduces the paper's baseline: the machine sleeps for

@@ -314,6 +314,9 @@ func EnergyTable(w io.Writer, results []core.Result, sleepWatts float64) {
 		metric("Time (s)", func(r core.Result) float64 { return r.AlgorithmSec }, "%.5g"),
 		metric("Average Power per Root (W)", func(r core.Result) float64 { return r.AvgCPUWatts + r.AvgRAMWatts }, "%.2f"),
 		metric("Energy per Root (J)", func(r core.Result) float64 { return r.CPUJoules + r.RAMJoules }, "%.4g"),
+		metric("Energy-Delay Product (J*s)", func(r core.Result) float64 {
+			return (r.CPUJoules + r.RAMJoules) * r.AlgorithmSec
+		}, "%.4g"),
 		metric("Sleeping Energy (J)", func(r core.Result) float64 { return sleepWatts * r.AlgorithmSec }, "%.4g"),
 		metric("Increase over Sleep", func(r core.Result) float64 {
 			if r.AlgorithmSec <= 0 {

@@ -30,6 +30,7 @@ type SchedStudyRow struct {
 	Sched      string
 	Grain      string // "fixed" or "adaptive"
 	Placement  string // "none" or "firsttouch"
+	Freq       string // DVFS operating point ("turbo", "balanced", "powersave")
 	Threads    int
 	Sockets    int
 	Workers    int
@@ -42,11 +43,23 @@ type SchedStudyRow struct {
 	Cycles  float64
 	Bytes   float64
 	Atomics float64
-	WallSec float64
+	// Modeled energy over the run: the power model integrated over the
+	// same region trace that produced ModeledSec (power.MeasureTrace).
+	// Joules are pure functions of the trace and the (frequency-scaled)
+	// calibration constants — bit-deterministic and host-independent —
+	// so the CI drift gate pins the whole power model: any constant or
+	// regionPower change drifts these columns. EDPJouleSec is
+	// TotalJoules × ModeledSec, the energy-delay product the study
+	// ranks operating points by.
+	CPUJoules   float64
+	RAMJoules   float64
+	TotalJoules float64
+	EDPJouleSec float64
+	WallSec     float64
 }
 
 // SchedStudyCSVHeader is the column layout of WriteSchedStudyCSV.
-const SchedStudyCSVHeader = "kernel,sched,grain,placement,threads,sockets,workers,modeled_s,cycles,bytes,atomics,wall_s"
+const SchedStudyCSVHeader = "kernel,sched,grain,placement,freq,threads,sockets,workers,modeled_s,cycles,bytes,atomics,cpu_joules,ram_joules,total_joules,edp_js,wall_s"
 
 // csvFloat renders v at the shortest precision that round-trips
 // float64 exactly: readable for humans, bit-faithful for the CI
@@ -57,14 +70,15 @@ func csvFloat(v float64) string {
 
 // WriteSchedStudyCSV writes the scheduling-study table as CSV for
 // external plotting, one row per (kernel, policy, grain, placement,
-// thread count, socket count).
+// frequency state, thread count, socket count).
 func WriteSchedStudyCSV(w io.Writer, rows []SchedStudyRow) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, SchedStudyCSVHeader)
 	for _, r := range rows {
-		fmt.Fprintf(bw, "%s,%s,%s,%s,%d,%d,%d,%s,%s,%s,%s,%s\n",
-			r.Kernel, r.Sched, r.Grain, r.Placement, r.Threads, r.Sockets, r.Workers,
+		fmt.Fprintf(bw, "%s,%s,%s,%s,%s,%d,%d,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
+			r.Kernel, r.Sched, r.Grain, r.Placement, r.Freq, r.Threads, r.Sockets, r.Workers,
 			csvFloat(r.ModeledSec), csvFloat(r.Cycles), csvFloat(r.Bytes), csvFloat(r.Atomics),
+			csvFloat(r.CPUJoules), csvFloat(r.RAMJoules), csvFloat(r.TotalJoules), csvFloat(r.EDPJouleSec),
 			csvFloat(r.WallSec))
 	}
 	return bw.Flush()
@@ -77,10 +91,11 @@ func SchedStudyTable(w io.Writer, rows []SchedStudyRow) {
 	var out [][]string
 	for _, r := range rows {
 		out = append(out, []string{
-			r.Kernel, r.Sched, r.Grain, r.Placement, fmt.Sprint(r.Threads), fmt.Sprint(r.Sockets),
-			FormatSeconds(r.ModeledSec), FormatSeconds(r.WallSec),
+			r.Kernel, r.Sched, r.Grain, r.Placement, r.Freq, fmt.Sprint(r.Threads), fmt.Sprint(r.Sockets),
+			FormatSeconds(r.ModeledSec), fmt.Sprintf("%.4g", r.TotalJoules), fmt.Sprintf("%.4g", r.EDPJouleSec),
+			FormatSeconds(r.WallSec),
 		})
 	}
-	Table(w, "Scheduling study: modeled seconds by policy, grain, placement, threads, and sockets",
-		[]string{"kernel", "sched", "grain", "placement", "threads", "sockets", "modeled_s", "wall_s"}, out)
+	Table(w, "Scheduling study: modeled seconds, joules, and EDP by policy, grain, placement, freq, threads, and sockets",
+		[]string{"kernel", "sched", "grain", "placement", "freq", "threads", "sockets", "modeled_s", "joules", "edp_js", "wall_s"}, out)
 }

@@ -102,6 +102,12 @@ type Machine struct {
 	elapsed float64
 	trace   []Region
 	tracing bool
+	// generation counts Reset calls. Trace indices from Mark are only
+	// meaningful within one generation; windowed consumers (power.RAPL)
+	// compare generations to detect a Reset inside an open window
+	// instead of slicing the truncated trace out of range — or worse,
+	// silently integrating the wrong regions.
+	generation uint64
 
 	// Scheduling-policy override: when forced, every parallel region
 	// runs under forceSched regardless of the engine's per-region
@@ -246,11 +252,23 @@ func (m *Machine) effSched(s Sched) Sched {
 // last Reset.
 func (m *Machine) Elapsed() float64 { return m.elapsed }
 
-// Reset zeroes the clock and trace.
+// Reset zeroes the clock and trace and advances the trace generation
+// (invalidating any Mark cursors taken before the call). First-touch
+// page ownership survives: pages stay placed for the allocation's
+// lifetime.
 func (m *Machine) Reset() {
 	m.elapsed = 0
 	m.trace = m.trace[:0]
+	m.generation++
 }
+
+// Generation returns the trace generation, incremented by every Reset.
+// Cursors from Mark are valid only while the generation is unchanged.
+func (m *Machine) Generation() uint64 { return m.generation }
+
+// Tracing reports whether trace retention is enabled. Consumers that
+// integrate over the trace (power.RAPL) require it.
+func (m *Machine) Tracing() bool { return m.tracing }
 
 // Trace returns the recorded regions. The slice is owned by the
 // machine; callers must not modify it.

@@ -260,6 +260,31 @@ func TestSleepAndReset(t *testing.T) {
 	}
 }
 
+// TestResetBumpsGeneration: Reset discards the trace, so any cursor
+// captured before it indexes a dead generation. The generation counter
+// is what lets trace consumers (power.RAPL windows) detect that and
+// fail loudly instead of slicing a truncated — or silently regrown —
+// trace.
+func TestResetBumpsGeneration(t *testing.T) {
+	m := New(testModel(), 2)
+	g0 := m.Generation()
+	m.Serial(func(w *W) { w.Cycles(1e6) })
+	if m.Generation() != g0 {
+		t.Error("recording regions changed the generation")
+	}
+	m.Reset()
+	if m.Generation() != g0+1 {
+		t.Errorf("generation after Reset = %d, want %d", m.Generation(), g0+1)
+	}
+	m.Reset()
+	if m.Generation() != g0+2 {
+		t.Errorf("generation after second Reset = %d, want %d", m.Generation(), g0+2)
+	}
+	if !m.Tracing() {
+		t.Error("new machine not tracing by default")
+	}
+}
+
 func TestMarkWindows(t *testing.T) {
 	m := New(testModel(), 2)
 	m.Serial(func(w *W) { w.Cycles(1e6) })

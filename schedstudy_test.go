@@ -17,7 +17,13 @@
 // threads. The placement axis stacks the first-touch page-ownership
 // model on top (Spec.Placement = "firsttouch"), charging
 // remotely-placed resident data under all four policies — static and
-// dynamic now have sockets>1 rows of their own.
+// dynamic now have sockets>1 rows of their own. Every row additionally
+// carries the energy axis: CPU/RAM/total joules from the power model
+// integrated over the run's region trace, and the energy-delay
+// product. The frequency axis (modeled DVFS operating points, swept on
+// the firsttouch configuration) makes the table answer which policy ×
+// grain × placement × frequency is fastest per joule — the paper's
+// second measurement axis at modern scale.
 //
 // A second artifact serves CI: FIG_sched_study_ci.csv is the same
 // table pinned to kron-12 with wall-clock zeroed, so it contains only
@@ -40,6 +46,7 @@ import (
 	"github.com/hpcl-repro/epg/internal/engines/gap"
 	"github.com/hpcl-repro/epg/internal/graph"
 	"github.com/hpcl-repro/epg/internal/parallel"
+	"github.com/hpcl-repro/epg/internal/power"
 	"github.com/hpcl-repro/epg/internal/report"
 	"github.com/hpcl-repro/epg/internal/simmachine"
 )
@@ -48,16 +55,26 @@ import (
 // x-axis, plus the 72-thread full machine).
 var schedStudyThreads = []int{1, 2, 4, 8, 16, 32, 64, 72}
 
-// schedStudyConfigs is the (grain, placement) axis: the historical
-// fixed-grain table, the adaptive re-chunking alone, and adaptive with
-// the first-touch placement model stacked on top.
+// schedStudyConfigs is the (grain, placement, frequency) axis: the
+// historical fixed-grain table, the adaptive re-chunking alone,
+// adaptive with the first-touch placement model stacked on top, and —
+// on that headline locality configuration — the DVFS sweep over the
+// two lower modeled operating points. Every row carries joules and
+// EDP; the frequency axis is swept on the firsttouch configuration
+// (where all four policies have multi-socket rows) rather than the
+// full cross product, which keeps the artifact and the CI drift gate's
+// regeneration time bounded while still answering the paper's energy
+// question per policy × threads × sockets.
 var schedStudyConfigs = []struct {
 	grain     string
 	placement string
+	freq      string
 }{
-	{"fixed", "none"},
-	{"adaptive", "none"},
-	{"adaptive", "firsttouch"},
+	{"fixed", "none", "turbo"},
+	{"adaptive", "none", "turbo"},
+	{"adaptive", "firsttouch", "turbo"},
+	{"adaptive", "firsttouch", "balanced"},
+	{"adaptive", "firsttouch", "powersave"},
 }
 
 var schedStudyPolicies = []struct {
@@ -106,7 +123,12 @@ func generateSchedStudyRows(t *testing.T, el *graph.EdgeList, modeledOnly bool) 
 			for _, pol := range schedStudyPolicies {
 				for _, sockets := range schedStudySockets(pol.name, cfg.placement) {
 					for _, threads := range schedStudyThreads {
-						m := simmachine.New(simmachine.Haswell72(), threads)
+						freq, err := power.FreqStateByName(cfg.freq)
+						if err != nil {
+							t.Fatal(err)
+						}
+						m := simmachine.New(freq.ScaleModel(simmachine.Haswell72()), threads)
+						pconsts := freq.ScaleConstants(power.DefaultConstants())
 						m.SetSchedOverride(pol.sched)
 						if sockets > 1 {
 							m.SetSockets(sockets)
@@ -132,11 +154,14 @@ func generateSchedStudyRows(t *testing.T, el *graph.EdgeList, modeledOnly bool) 
 							_, err := inst.PageRank(engines.DefaultPROpts())
 							return err
 						}
+						meter := power.NewRAPL(m, pconsts)
+						meter.Start()
 						start := time.Now()
 						if err := run(); err != nil {
 							t.Fatal(err)
 						}
 						wall := time.Since(start).Seconds()
+						rd := meter.End()
 						workers := m.Workers()
 						if modeledOnly {
 							wall = 0
@@ -146,24 +171,31 @@ func generateSchedStudyRows(t *testing.T, el *graph.EdgeList, modeledOnly bool) 
 						// model prices. Penalty charges land here even
 						// when they miss the critical-path lane, which is
 						// what makes the CI drift gate sensitive to every
-						// cost-accounting change.
+						// cost-accounting change. The joules integrate
+						// the power model over the same trace, so the
+						// gate additionally pins every power constant.
 						var total simmachine.Cost
 						for _, reg := range m.Trace() {
 							total.Add(reg.Cost)
 						}
 						rows = append(rows, report.SchedStudyRow{
-							Kernel:     kernel,
-							Sched:      pol.name,
-							Grain:      cfg.grain,
-							Placement:  cfg.placement,
-							Threads:    threads,
-							Sockets:    sockets,
-							Workers:    workers,
-							ModeledSec: m.Elapsed(),
-							Cycles:     total.Cycles,
-							Bytes:      total.Bytes,
-							Atomics:    total.Atomics,
-							WallSec:    wall,
+							Kernel:      kernel,
+							Sched:       pol.name,
+							Grain:       cfg.grain,
+							Placement:   cfg.placement,
+							Freq:        cfg.freq,
+							Threads:     threads,
+							Sockets:     sockets,
+							Workers:     workers,
+							ModeledSec:  m.Elapsed(),
+							Cycles:      total.Cycles,
+							Bytes:       total.Bytes,
+							Atomics:     total.Atomics,
+							CPUJoules:   rd.CPUJoules,
+							RAMJoules:   rd.RAMJoules,
+							TotalJoules: rd.TotalJoules(),
+							EDPJouleSec: rd.EDP(),
+							WallSec:     wall,
 						})
 					}
 				}
