@@ -5,13 +5,14 @@
 # the paper's tables and figures once; `make baseline` rewrites
 # BENCH_baseline.json; `make benchfig` rewrites the scheduling-study
 # CSV (FIG_sched_study.csv, policy x grain x placement x freq x
-# threads x sockets, with modeled joules and energy-delay-product
-# columns from the RAPL-analogue power model); `make benchfig-ci`
-# rewrites its pinned-scale, modeled-only sibling
+# compress x threads x sockets, with modeled joules and
+# energy-delay-product columns from the RAPL-analogue power model);
+# `make benchfig-ci` rewrites its pinned-scale, modeled-only sibling
 # FIG_sched_study_ci.csv; `make benchfig-check` is the
 # bench-regression gate that fails when the regenerated modeled study
 # -- times, cost counters, or joules -- drifts from the committed
-# artifact.
+# artifact; `make compress-ratio` prints kron-16 raw vs delta+varint
+# adjacency bytes and enforces the 2x floor.
 
 GO ?= go
 FUZZTIME ?= 20s
@@ -22,7 +23,7 @@ FUZZTIME ?= 20s
 # pinned to kron-12 in code, independent of this knob.)
 SCHEDFIG_SCALE ?= 17
 
-.PHONY: all build test race race-full fuzz bench baseline benchfig benchfig-ci benchfig-check speedup-floor big-conformance numa-sweep vet fmt-check
+.PHONY: all build test race race-full fuzz bench baseline benchfig benchfig-ci benchfig-check compress-ratio speedup-floor big-conformance numa-sweep vet fmt-check
 
 all: test race
 
@@ -42,6 +43,13 @@ fuzz:
 	$(GO) test -fuzz '^FuzzScanInt64$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/parallel/
 	$(GO) test -fuzz '^FuzzBitmapToSlice$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/parallel/
 	$(GO) test -fuzz '^FuzzChunkQueueDrain$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/parallel/
+	$(GO) test -fuzz '^FuzzVarintRoundTrip$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/graph/
+	$(GO) test -fuzz '^FuzzCompressedCSREquivalence$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/graph/
+
+# Smoke step: print raw vs delta+varint adjacency bytes on kron-16 and
+# fail below the 2x floor.
+compress-ratio:
+	$(GO) test -run 'TestCompressionRatioKron16$$' -v ./internal/graph/
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .

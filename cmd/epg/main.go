@@ -150,6 +150,7 @@ func cmdRun(args []string) error {
 	placement := fs.String("placement", "", "locality model for resident data: none (steals only) or firsttouch (page ownership; needs -sockets > 1)")
 	freq := fs.String("freq", "", "modeled DVFS operating point: turbo (default), balanced, or powersave — scales core clocks and CPU dynamic power together")
 	syncSSSP := fs.Bool("sync-sssp", false, "synchronous deterministic SSSP in GAP and GraphBIG")
+	compress := fs.Bool("compress", false, "delta+varint compressed adjacency in GAP and Graph500 BFS/PR (decode-aware cost model)")
 	fs.Parse(args)
 
 	s := newSuite(*divisor, *seed)
@@ -171,6 +172,7 @@ func cmdRun(args []string) error {
 		Placement:     *placement,
 		FreqState:     *freq,
 		SyncSSSP:      *syncSSSP,
+		Compress:      *compress,
 	}
 	if *enginesFlag != "" {
 		spec.Engines = strings.Split(*enginesFlag, ",")

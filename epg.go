@@ -54,7 +54,10 @@ const (
 )
 
 // Spec describes one experiment (dataset, algorithm, engines,
-// threads, roots, scheduling policy).
+// threads, roots, scheduling policy). Spec.Compress selects
+// delta+varint byte-compressed adjacency (decoded on the fly with a
+// modeled per-byte cost) in the GAP and Graph500 BFS/PageRank inner
+// loops; outputs are identical, only the modeled roofline moves.
 type Spec = core.Spec
 
 // Scheduling policies for Spec.Sched. SchedAuto (the default) keeps

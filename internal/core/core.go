@@ -108,6 +108,16 @@ type Spec struct {
 	// power constants, so modeled seconds AND joules move together —
 	// the axis the energy study sweeps.
 	FreqState string
+	// Compress switches GAP and Graph500 to the delta+varint
+	// byte-compressed adjacency (graph.CompressedCSR) in their BFS and
+	// PageRank inner loops, decoding neighbors on the fly. The cost
+	// model charges Model.DecodeCyclesPerByte per compressed byte and
+	// routes the compressed bytes (not the raw 4 B/edge) into the
+	// bandwidth, placement, and energy terms — the modeled roofline
+	// decides where compression wins. Outputs are identical to the
+	// uncompressed run; engines without a compressed path ignore the
+	// knob.
+	Compress bool
 	// SyncSSSP switches GAP's delta-stepping and GraphBIG's
 	// relaxation to their synchronous bucket/round-barrier modes,
 	// making their parents, relaxation counts, and modeled durations

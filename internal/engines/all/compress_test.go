@@ -1,0 +1,156 @@
+// Compressed-adjacency walls: under Spec.Compress the GAP and
+// Graph500 BFS/PageRank inner loops decode delta+varint neighbor
+// streams on the fly. The contract has three sides, mirroring the
+// adaptive-grain wall:
+//
+//  1. Conformance — outputs are bit-identical to the uncompressed run
+//     for every kernel of every engine (compression may only move
+//     modeled costs, never results).
+//  2. Determinism — outputs AND modeled durations (joules included)
+//     are bit-identical across runs and real worker counts under
+//     every scheduling policy.
+//  3. Liveness — for the kernels that actually decode (GAP BFS/PR,
+//     Graph500 BFS) the modeled duration trace must differ from the
+//     raw-CSR run: equal traces would mean the knob never reached the
+//     inner loops.
+package all
+
+import (
+	"slices"
+	"testing"
+
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/harness"
+	"github.com/hpcl-repro/epg/internal/kronecker"
+	"github.com/hpcl-repro/epg/internal/simmachine"
+)
+
+// compressPolicies is the scheduling axis of the compressed wall: all
+// four policies, with the locality model live on the numa leg.
+var compressPolicies = []struct {
+	name    string
+	sched   simmachine.Sched
+	sockets int
+}{
+	{"static", simmachine.Static, 0},
+	{"dynamic", simmachine.Dynamic, 0},
+	{"steal", simmachine.Steal, 0},
+	{"numa", simmachine.NUMA, 2},
+}
+
+// TestCompressDeterministicAllKernels is the six-kernel wall under
+// Compress=on × {static, dynamic, steal, numa}: outputs bit-identical
+// to the uncompressed run AND across runs/worker counts, modeled
+// durations bit-identical across runs/worker counts, for every engine
+// that implements each kernel.
+func TestCompressDeterministicAllKernels(t *testing.T) {
+	el, root := determinismGraph()
+	for _, pol := range compressPolicies {
+		t.Run(pol.name, func(t *testing.T) {
+			opts := runOpts{
+				syncSSSP: true, sched: pol.sched, override: true,
+				sockets: pol.sockets, compress: true,
+			}
+			raw := opts
+			raw.compress = false
+			for _, alg := range engines.AllAlgorithms {
+				t.Run(string(alg), func(t *testing.T) {
+					for _, name := range Names {
+						eng, err := Registry().New(name)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !eng.Has(alg) {
+							continue
+						}
+						t.Run(name, func(t *testing.T) {
+							base := runKernelOpts(t, name, alg, el, root, 1, opts)
+							// Conformance: identical results to raw CSR.
+							uncompressed := runKernelOpts(t, name, alg, el, root, 1, raw)
+							sameOutputs(t, "compress vs raw", uncompressed.out, base.out)
+							// Determinism: identical everything across
+							// runs and worker counts.
+							for _, workers := range []int{1, 4} {
+								got := runKernelOpts(t, name, alg, el, root, workers, opts)
+								sameOutputs(t, "compress", base.out, got.out)
+								sameDurations(t, "compress", base, got)
+							}
+						})
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestCompressChangesModeledCosts pins knob liveness per decoding
+// kernel: the compressed run's modeled trace must differ from the raw
+// run's for GAP BFS, GAP PageRank, and Graph500 BFS (decode cycles and
+// compressed bytes replace the raw 4 B/edge stream), while engines
+// without a compressed path (e.g. GraphMat PageRank) must be
+// byte-identical — the knob may not leak into them.
+func TestCompressChangesModeledCosts(t *testing.T) {
+	el, root := determinismGraph()
+	decoding := []struct {
+		name string
+		alg  engines.Algorithm
+	}{
+		{GAP, engines.BFS},
+		{GAP, engines.PageRank},
+		{Graph500, engines.BFS},
+	}
+	for _, c := range decoding {
+		t.Run(c.name+"/"+string(c.alg), func(t *testing.T) {
+			raw := runKernelOpts(t, c.name, c.alg, el, root, 1, runOpts{})
+			comp := runKernelOpts(t, c.name, c.alg, el, root, 1, runOpts{compress: true})
+			sameOutputs(t, "compress vs raw outputs", raw.out, comp.out)
+			if raw.elapsed == comp.elapsed && slices.Equal(raw.durations, comp.durations) {
+				t.Error("compressed duration trace byte-identical to raw: Compress not reaching the inner loop")
+			}
+		})
+	}
+	// Engines that ignore the knob must be bitwise unaffected.
+	raw := runKernelOpts(t, GraphMat, engines.PageRank, el, root, 1, runOpts{})
+	comp := runKernelOpts(t, GraphMat, engines.PageRank, el, root, 1, runOpts{compress: true})
+	sameOutputs(t, "graphmat outputs", raw.out, comp.out)
+	sameDurations(t, "graphmat durations", raw, comp)
+}
+
+// TestSpecCompressKnobEndToEnd drives the harness with Spec.Compress:
+// per-trial modeled measurements must be identical across worker
+// counts, the knob must move modeled time relative to the raw run for
+// a decoding kernel, and the construction phase must absorb the encode
+// pass (GAP's Kernel-1 analogue grows).
+func TestSpecCompressKnobEndToEnd(t *testing.T) {
+	el := kronecker.Generate(kronecker.Params{Scale: 9, Seed: 7})
+	r := harness.NewRunner(Registry())
+	run := func(workers int, compress bool) (alg, cons []float64) {
+		spec := coreSpec(engines.BFS, workers)
+		spec.Engines = []string{GAP, Graph500}
+		spec.Compress = compress
+		rs, err := r.Run(spec, el)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg = make([]float64, len(rs))
+		cons = make([]float64, len(rs))
+		for i, res := range rs {
+			alg[i] = res.AlgorithmSec
+			cons[i] = res.ConstructionSec
+		}
+		return alg, cons
+	}
+	baseAlg, baseCons := run(1, true)
+	for _, workers := range []int{2, 4} {
+		gotAlg, gotCons := run(workers, true)
+		sameFloat64sBitwise(t, "compress spec algorithm seconds", baseAlg, gotAlg)
+		sameFloat64sBitwise(t, "compress spec construction seconds", baseCons, gotCons)
+	}
+	rawAlg, rawCons := run(1, false)
+	if slices.Equal(baseAlg, rawAlg) {
+		t.Error("Compress=true modeled algorithm seconds identical to raw: knob not reaching the engines")
+	}
+	if slices.Equal(baseCons, rawCons) {
+		t.Error("Compress=true construction seconds identical to raw: encode pass not charged")
+	}
+}

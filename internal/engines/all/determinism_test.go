@@ -61,6 +61,7 @@ type runOpts struct {
 	sockets   int              // virtual sockets for the locality model (0 = default)
 	adaptive  bool             // frontier-proportional grain policy
 	placement bool             // first-touch page-placement model
+	compress  bool             // delta+varint compressed adjacency (GAP, Graph500)
 }
 
 func runKernel(t *testing.T, name string, alg engines.Algorithm, el *graph.EdgeList, root graph.VID, workers int) kernelRun {
@@ -77,6 +78,11 @@ func runKernelOpts(t *testing.T, name string, alg engines.Algorithm, el *graph.E
 	if opts.syncSSSP {
 		if s, ok := eng.(engines.SyncSSSPSetter); ok {
 			s.SetSyncSSSP(true)
+		}
+	}
+	if opts.compress {
+		if s, ok := eng.(engines.CompressSetter); ok {
+			s.SetCompress(true)
 		}
 	}
 	m := simmachine.New(simmachine.Haswell72(), 8)

@@ -162,6 +162,17 @@ type SyncSSSPSetter interface {
 	SetSyncSSSP(on bool)
 }
 
+// CompressSetter is implemented by engines that can traverse a
+// delta+varint byte-compressed adjacency (graph.CompressedCSR) in
+// their BFS/PageRank inner loops — GAP and Graph500 in this
+// reproduction. The harness enables it from Spec.Compress before
+// Load, since the compressed structure is built during graph
+// construction. Outputs must be identical to the uncompressed run;
+// only the modeled decode/bandwidth costs move.
+type CompressSetter interface {
+	SetCompress(on bool)
+}
+
 // ErrUnsupported is returned by instances for algorithms the engine
 // does not provide.
 var ErrUnsupported = fmt.Errorf("engines: algorithm not provided by this engine")

@@ -124,11 +124,21 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 // the chunk-ordered flush, which replaced the per-level sort.
 func (inst *Instance) stepTopDown(frontier []graph.VID, grain int, parent, depth []int64, level int64, next *parallel.ChunkQueue[parallel.Claim]) (examined int64) {
 	exa := parallel.NewCounter(inst.m.Workers())
+	cpb := inst.m.Model().DecodeCyclesPerByte
 	inst.m.ParallelForChunks(len(frontier), grain, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 		var local []parallel.Claim
-		var edges, claims int64
+		var buf []graph.VID
+		var edges, claims, decBytes int64
 		for _, v := range frontier[lo:hi] {
-			for _, u := range inst.out.Neighbors(v) {
+			adj := inst.out.Neighbors(v)
+			if inst.cout != nil {
+				// Full expansion decodes the whole stream; charge its
+				// compressed length instead of the raw 4 B/edge.
+				buf = inst.cout.DecodeNeighbors(v, buf)
+				adj = buf
+				decBytes += inst.cout.EncodedBytes(v)
+			}
+			for _, u := range adj {
 				edges++
 				// Finalized before this level (root included): skip.
 				// Racing claims from this level read -1 or level+1 —
@@ -149,7 +159,13 @@ func (inst *Instance) stepTopDown(frontier []graph.VID, grain int, parent, depth
 		}
 		next.Put(chunk, local)
 		exa.Add(worker, edges)
-		w.Charge(costTopDownEdge.Scale(float64(edges)))
+		if inst.cout != nil {
+			w.Charge(costTopDownEdgeC.Scale(float64(edges)))
+			w.Cycles(cpb * float64(decBytes))
+			w.Bytes(float64(decBytes))
+		} else {
+			w.Charge(costTopDownEdge.Scale(float64(edges)))
+		}
 		w.Charge(costClaim.Scale(float64(claims)))
 		w.Cycles(float64(hi-lo) * 6) // queue pop + amortized chunk flush
 	})
@@ -227,14 +243,35 @@ func (inst *Instance) stepBottomUp(front, next *parallel.Bitmap, parent, depth [
 	exa := parallel.NewCounter(inst.m.Workers())
 	sct := parallel.NewCounter(inst.m.Workers())
 	fnd := parallel.NewCounter(inst.m.Workers())
+	cpb := inst.m.Model().DecodeCyclesPerByte
 	// align 64: each chunk clears its own word range of `next`.
 	g := inst.m.Grain(n, bfsBottomUpGrain, 64)
 	inst.m.ParallelForChunks(n, g, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
 		next.ClearRange(lo, hi)
 		w.Charge(costBitmapWord.Scale(float64(hi-lo) / 64))
-		var edges, localScout, localFound int64
+		var edges, localScout, localFound, decBytes int64
 		for v := lo; v < hi; v++ {
 			if parent[v] != engines.NoParent {
+				continue
+			}
+			if inst.cin != nil {
+				// Streaming decode so the early break charges exactly
+				// the compressed prefix actually consumed. Bytes read
+				// depend only on how far this vertex scans — a function
+				// of the previous level's frontier, not the schedule.
+				d := inst.cin.Decoder(graph.VID(v))
+				for u, ok := d.Next(); ok; u, ok = d.Next() {
+					edges++
+					if front.Test(int(u)) {
+						parent[v] = int64(u)
+						depth[v] = level + 1
+						next.Set(v)
+						localFound++
+						localScout += inst.out.Degree(graph.VID(v))
+						break
+					}
+				}
+				decBytes += int64(d.BytesRead())
 				continue
 			}
 			for _, u := range inst.in.Neighbors(graph.VID(v)) {
@@ -253,7 +290,13 @@ func (inst *Instance) stepBottomUp(front, next *parallel.Bitmap, parent, depth [
 		exa.Add(worker, edges)
 		sct.Add(worker, localScout)
 		fnd.Add(worker, localFound)
-		w.Charge(costBottomUpEdge.Scale(float64(edges)))
+		if inst.cin != nil {
+			w.Charge(costBottomUpEdgeC.Scale(float64(edges)))
+			w.Cycles(cpb * float64(decBytes))
+			w.Bytes(float64(decBytes))
+		} else {
+			w.Charge(costBottomUpEdge.Scale(float64(edges)))
+		}
 		w.Cycles(float64(hi-lo) * 2) // visited test per vertex
 		w.Bytes(float64(hi-lo) * 1)
 	})

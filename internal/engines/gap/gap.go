@@ -30,6 +30,17 @@ var (
 	costPRVertex     = simmachine.Cost{Cycles: 6, Bytes: 24}
 	costCCEdge       = simmachine.Cost{Cycles: 4, Bytes: 10}
 	costBuildEdge    = simmachine.Cost{Cycles: 5, Bytes: 18}
+	// Compressed-adjacency variants of the traversal edge costs: the
+	// raw 4 B/edge neighbor-ID read is stripped out, because under
+	// Spec.Compress the kernels charge the actual compressed bytes
+	// consumed (plus Model.DecodeCyclesPerByte per byte) instead.
+	costTopDownEdgeC  = simmachine.Cost{Cycles: 6, Bytes: 6}
+	costBottomUpEdgeC = simmachine.Cost{Cycles: 4, Bytes: 4}
+	costPREdgeC       = simmachine.Cost{Cycles: 3, Bytes: 8}
+	// costCompressEdge is the Kernel-1 surcharge of the delta+varint
+	// encode pass: re-read each sorted neighbor, compute the gap, emit
+	// ~1-2 bytes.
+	costCompressEdge = simmachine.Cost{Cycles: 8, Bytes: 10}
 	// Frontier-machinery costs: the sliding queue's flush (per kept
 	// vertex), bitmap word sweeps (clear/scan, per 64-bit word), and
 	// bitmap inserts at the direction switch (per frontier vertex).
@@ -50,10 +61,20 @@ type Engine struct {
 	// schedule-independent. Off by default — the real suite's
 	// CAS-racing relaxation is part of its character.
 	SyncSSSP bool
+	// Compress builds delta+varint compressed adjacency alongside the
+	// raw CSR and routes the BFS and PageRank inner loops through
+	// on-the-fly decode (Spec.Compress). Outputs are identical to the
+	// raw run; modeled costs switch to compressed bytes plus
+	// Model.DecodeCyclesPerByte. SSSP and WCC keep the raw CSR (the
+	// weight stream is not compressed).
+	Compress bool
 }
 
 // SetSyncSSSP implements engines.SyncSSSPSetter.
 func (e *Engine) SetSyncSSSP(on bool) { e.SyncSSSP = on }
+
+// SetCompress implements engines.CompressSetter.
+func (e *Engine) SetCompress(on bool) { e.Compress = on }
 
 // New returns the engine with the paper's default parameterization.
 func New() *Engine {
@@ -85,7 +106,11 @@ type Instance struct {
 
 	out *graph.CSR
 	in  *graph.CSR
-	n   int
+	// Compressed siblings of out/in, built only when eng.Compress;
+	// nil selects the raw decode-free paths.
+	cout *graph.CompressedCSR
+	cin  *graph.CompressedCSR
+	n    int
 	// total directed edges, used by the direction-optimizing
 	// heuristic.
 	mEdges int64
@@ -121,6 +146,20 @@ func (inst *Instance) BuildStructure() {
 		inst.in.SortAdjacency()
 	} else {
 		inst.in = inst.out
+	}
+	if inst.eng.Compress {
+		inst.m.ParallelFor(int(inst.out.NumEdges()), 4096, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+			w.Charge(costCompressEdge.Scale(float64(hi - lo)))
+		})
+		inst.cout = graph.CompressCSR(inst.out, 0)
+		if el.Directed {
+			inst.m.ParallelFor(int(inst.in.NumEdges()), 4096, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
+				w.Charge(costCompressEdge.Scale(float64(hi - lo)))
+			})
+			inst.cin = graph.CompressCSR(inst.in, 0)
+		} else {
+			inst.cin = inst.cout
+		}
 	}
 	inst.n = inst.out.NumVertices
 	inst.mEdges = inst.out.NumEdges()

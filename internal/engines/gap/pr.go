@@ -58,17 +58,32 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 		base := (1-opts.Damping)*inv + opts.Damping*dangling*inv
 
 		// Pull phase.
+		cpb := inst.m.Model().DecodeCyclesPerByte
 		inst.m.ParallelFor(n, gPull, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
-			var edges int64
+			var edges, decBytes int64
 			for v := lo; v < hi; v++ {
 				sum := 0.0
-				for _, u := range inst.in.Neighbors(graph.VID(v)) {
-					sum += contrib[u]
+				if inst.cin != nil {
+					d := inst.cin.Decoder(graph.VID(v))
+					for u, ok := d.Next(); ok; u, ok = d.Next() {
+						sum += contrib[u]
+					}
+					decBytes += int64(d.BytesRead())
+				} else {
+					for _, u := range inst.in.Neighbors(graph.VID(v)) {
+						sum += contrib[u]
+					}
 				}
 				edges += inst.in.Degree(graph.VID(v))
 				next[v] = base + opts.Damping*sum
 			}
-			w.Charge(costPREdge.Scale(float64(edges)))
+			if inst.cin != nil {
+				w.Charge(costPREdgeC.Scale(float64(edges)))
+				w.Cycles(cpb * float64(decBytes))
+				w.Bytes(float64(decBytes))
+			} else {
+				w.Charge(costPREdge.Scale(float64(edges)))
+			}
 			w.Charge(costPRVertex.Scale(float64(hi - lo)))
 		})
 

@@ -17,13 +17,28 @@ var (
 	costEdge      = simmachine.Cost{Cycles: 5, Bytes: 9}
 	costClaim     = simmachine.Cost{Atomics: 1, Bytes: 8}
 	costBuildEdge = simmachine.Cost{Cycles: 6, Bytes: 20}
+	// Compressed variant: the raw 4 B/edge neighbor read is replaced
+	// by the actual compressed bytes, charged separately along with
+	// Model.DecodeCyclesPerByte per byte.
+	costEdgeC = simmachine.Cost{Cycles: 5, Bytes: 5}
+	// costCompressEdge is the Kernel-1 surcharge of the delta+varint
+	// encode pass.
+	costCompressEdge = simmachine.Cost{Cycles: 8, Bytes: 10}
 )
 
 // Engine is the Graph500 reference analogue.
-type Engine struct{}
+type Engine struct {
+	// Compress switches Kernel 2's neighbor scan to the delta+varint
+	// compressed adjacency (Spec.Compress). Parents, depths, and edge
+	// counts are identical to the raw run; only the modeled costs move.
+	Compress bool
+}
 
 // New returns the engine.
 func New() *Engine { return &Engine{} }
+
+// SetCompress implements engines.CompressSetter.
+func (e *Engine) SetCompress(on bool) { e.Compress = on }
 
 // Name implements engines.Engine.
 func (e *Engine) Name() string { return "Graph500" }
@@ -37,9 +52,13 @@ func (e *Engine) Has(alg engines.Algorithm) bool { return alg == engines.BFS }
 
 // Instance is a loaded Graph500 graph.
 type Instance struct {
+	eng *Engine
 	m   *simmachine.Machine
 	el  *graph.EdgeList
 	csr *graph.CSR
+	// ccsr is the compressed sibling of csr, built only under
+	// Engine.Compress; nil selects the raw scan.
+	ccsr *graph.CompressedCSR
 }
 
 // Load implements engines.Engine.
@@ -47,7 +66,7 @@ func (e *Engine) Load(el *graph.EdgeList, m *simmachine.Machine) (engines.Instan
 	if err := el.Validate(); err != nil {
 		return nil, err
 	}
-	return &Instance{m: m, el: el}, nil
+	return &Instance{eng: e, m: m, el: el}, nil
 }
 
 // BuildStructure implements engines.Instance (Kernel 1).
@@ -61,6 +80,12 @@ func (inst *Instance) BuildStructure() {
 		Dedup:         true,
 		Sort:          true,
 	})
+	if inst.eng.Compress {
+		inst.m.ParallelFor(int(inst.csr.NumEdges()), 4096, simmachine.Static, func(lo, hi int, w *simmachine.W) {
+			w.Charge(costCompressEdge.Scale(float64(hi - lo)))
+		})
+		inst.ccsr = graph.CompressCSR(inst.csr, 0)
+	}
 }
 
 func (inst *Instance) ensureBuilt() {
@@ -97,11 +122,19 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 		g := inst.m.Grain(len(frontier), grain, 1)
 		queue.Reset(parallel.NumChunks(len(frontier), g))
 		exa := parallel.NewCounter(inst.m.Workers())
+		cpb := inst.m.Model().DecodeCyclesPerByte
 		inst.m.ParallelForChunks(len(frontier), g, simmachine.Static, func(lo, hi, chunk, worker int, w *simmachine.W) {
 			var local []parallel.Claim
-			var edges, claims int64
+			var buf []graph.VID
+			var edges, claims, decBytes int64
 			for _, v := range frontier[lo:hi] {
-				for _, u := range inst.csr.Neighbors(v) {
+				adj := inst.csr.Neighbors(v)
+				if inst.ccsr != nil {
+					buf = inst.ccsr.DecodeNeighbors(v, buf)
+					adj = buf
+					decBytes += inst.ccsr.EncodedBytes(v)
+				}
+				for _, u := range adj {
 					edges++
 					// The reference CASes every sighting of a vertex
 					// not finalized before this level; that set — and
@@ -118,7 +151,13 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 			}
 			queue.Put(chunk, local)
 			exa.Add(worker, edges)
-			w.Charge(costEdge.Scale(float64(edges)))
+			if inst.ccsr != nil {
+				w.Charge(costEdgeC.Scale(float64(edges)))
+				w.Cycles(cpb * float64(decBytes))
+				w.Bytes(float64(decBytes))
+			} else {
+				w.Charge(costEdge.Scale(float64(edges)))
+			}
 			w.Charge(costClaim.Scale(float64(claims)))
 			w.Cycles(float64(hi-lo) * 6) // dequeue + amortized chunk flush
 		})

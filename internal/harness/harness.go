@@ -104,6 +104,14 @@ func (r *Runner) runEngine(spec core.Spec, el *graph.EdgeList, name string, root
 			s.SetSyncSSSP(true)
 		}
 	}
+	if spec.Compress {
+		// Before Load: the compressed adjacency is built during the
+		// construction phase. Engines without a compressed path keep
+		// their raw structures.
+		if s, ok := eng.(engines.CompressSetter); ok {
+			s.SetCompress(true)
+		}
+	}
 	// The DVFS operating point scales the machine model (core clocks)
 	// and the power calibration (CPU-plane dynamic constants) as a
 	// pair: modeled seconds and joules move together, the way a real

@@ -9,8 +9,9 @@ import (
 
 // SchedStudyRow is one cell of the scheduling-study table (the
 // ROADMAP's "modeled time vs. policy across thread counts" figure):
-// one kernel run under one scheduling policy, grain policy, and
-// placement model at one virtual thread count and socket count, with
+// one kernel run under one scheduling policy, grain policy, placement
+// model, and adjacency representation (raw CSR or delta+varint
+// compressed) at one virtual thread count and socket count, with
 // the modeled seconds the figure plots, the aggregate charged work
 // (cycles/bytes/atomics summed over the run's regions — the raw
 // quantities the cost model prices, which the CI drift gate diffs at
@@ -31,6 +32,7 @@ type SchedStudyRow struct {
 	Grain      string // "fixed" or "adaptive"
 	Placement  string // "none" or "firsttouch"
 	Freq       string // DVFS operating point ("turbo", "balanced", "powersave")
+	Compress   string // adjacency representation: "off" (raw CSR) or "on" (delta+varint)
 	Threads    int
 	Sockets    int
 	Workers    int
@@ -59,7 +61,7 @@ type SchedStudyRow struct {
 }
 
 // SchedStudyCSVHeader is the column layout of WriteSchedStudyCSV.
-const SchedStudyCSVHeader = "kernel,sched,grain,placement,freq,threads,sockets,workers,modeled_s,cycles,bytes,atomics,cpu_joules,ram_joules,total_joules,edp_js,wall_s"
+const SchedStudyCSVHeader = "kernel,sched,grain,placement,freq,compress,threads,sockets,workers,modeled_s,cycles,bytes,atomics,cpu_joules,ram_joules,total_joules,edp_js,wall_s"
 
 // csvFloat renders v at the shortest precision that round-trips
 // float64 exactly: readable for humans, bit-faithful for the CI
@@ -70,13 +72,13 @@ func csvFloat(v float64) string {
 
 // WriteSchedStudyCSV writes the scheduling-study table as CSV for
 // external plotting, one row per (kernel, policy, grain, placement,
-// frequency state, thread count, socket count).
+// frequency state, compress setting, thread count, socket count).
 func WriteSchedStudyCSV(w io.Writer, rows []SchedStudyRow) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, SchedStudyCSVHeader)
 	for _, r := range rows {
-		fmt.Fprintf(bw, "%s,%s,%s,%s,%s,%d,%d,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
-			r.Kernel, r.Sched, r.Grain, r.Placement, r.Freq, r.Threads, r.Sockets, r.Workers,
+		fmt.Fprintf(bw, "%s,%s,%s,%s,%s,%s,%d,%d,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
+			r.Kernel, r.Sched, r.Grain, r.Placement, r.Freq, r.Compress, r.Threads, r.Sockets, r.Workers,
 			csvFloat(r.ModeledSec), csvFloat(r.Cycles), csvFloat(r.Bytes), csvFloat(r.Atomics),
 			csvFloat(r.CPUJoules), csvFloat(r.RAMJoules), csvFloat(r.TotalJoules), csvFloat(r.EDPJouleSec),
 			csvFloat(r.WallSec))
@@ -91,11 +93,11 @@ func SchedStudyTable(w io.Writer, rows []SchedStudyRow) {
 	var out [][]string
 	for _, r := range rows {
 		out = append(out, []string{
-			r.Kernel, r.Sched, r.Grain, r.Placement, r.Freq, fmt.Sprint(r.Threads), fmt.Sprint(r.Sockets),
+			r.Kernel, r.Sched, r.Grain, r.Placement, r.Freq, r.Compress, fmt.Sprint(r.Threads), fmt.Sprint(r.Sockets),
 			FormatSeconds(r.ModeledSec), fmt.Sprintf("%.4g", r.TotalJoules), fmt.Sprintf("%.4g", r.EDPJouleSec),
 			FormatSeconds(r.WallSec),
 		})
 	}
-	Table(w, "Scheduling study: modeled seconds, joules, and EDP by policy, grain, placement, freq, threads, and sockets",
-		[]string{"kernel", "sched", "grain", "placement", "freq", "threads", "sockets", "modeled_s", "joules", "edp_js", "wall_s"}, out)
+	Table(w, "Scheduling study: modeled seconds, joules, and EDP by policy, grain, placement, freq, compress, threads, and sockets",
+		[]string{"kernel", "sched", "grain", "placement", "freq", "compress", "threads", "sockets", "modeled_s", "joules", "edp_js", "wall_s"}, out)
 }

@@ -50,6 +50,14 @@ type Model struct {
 	// on different sockets (cross-socket cache-line transfer).
 	RemoteBytesFactor float64
 	RemoteStealCycles float64
+
+	// DecodeCyclesPerByte is the compute cost of on-the-fly varint
+	// adjacency decoding (Spec.Compress): kernels charge it per
+	// compressed byte actually consumed, on top of routing those
+	// compressed bytes (instead of the raw 4 B/edge) into the
+	// bandwidth and locality terms. Denominated in cycles, so DVFS
+	// states stretch it automatically with the clock.
+	DecodeCyclesPerByte float64
 }
 
 // MaxThreads returns the machine's hardware thread count.
@@ -87,6 +95,11 @@ func Haswell72() Model {
 		// line transfer.
 		RemoteBytesFactor: 1.7,
 		RemoteStealCycles: 120,
+		// Branchy byte-at-a-time varint decode retires a couple of
+		// cycles per byte on Haswell — cheap enough that compression
+		// wins once a kernel is bandwidth-bound, visible enough that
+		// compute-bound regions pay for it.
+		DecodeCyclesPerByte: 2,
 	}
 }
 

@@ -23,7 +23,11 @@
 // product. The frequency axis (modeled DVFS operating points, swept on
 // the firsttouch configuration) makes the table answer which policy ×
 // grain × placement × frequency is fastest per joule — the paper's
-// second measurement axis at modern scale.
+// second measurement axis at modern scale. The compress axis runs the
+// same kernels over the delta+varint adjacency (Spec.Compress): decode
+// cycles are charged per compressed byte while the byte columns shrink
+// to the encoded stream, so the on/off pairs quantify whether trading
+// compute for bandwidth pays at each operating point.
 //
 // A second artifact serves CI: FIG_sched_study_ci.csv is the same
 // table pinned to kron-12 with wall-clock zeroed, so it contains only
@@ -55,26 +59,36 @@ import (
 // x-axis, plus the 72-thread full machine).
 var schedStudyThreads = []int{1, 2, 4, 8, 16, 32, 64, 72}
 
-// schedStudyConfigs is the (grain, placement, frequency) axis: the
-// historical fixed-grain table, the adaptive re-chunking alone,
-// adaptive with the first-touch placement model stacked on top, and —
-// on that headline locality configuration — the DVFS sweep over the
-// two lower modeled operating points. Every row carries joules and
-// EDP; the frequency axis is swept on the firsttouch configuration
-// (where all four policies have multi-socket rows) rather than the
+// schedStudyConfigs is the (grain, placement, frequency, compress)
+// axis: the historical fixed-grain table, the adaptive re-chunking
+// alone, adaptive with the first-touch placement model stacked on top,
+// on that headline locality configuration the DVFS sweep over the two
+// lower modeled operating points, and the compressed-adjacency
+// (delta+varint) variant of both the baseline and the headline
+// configuration. Every row carries joules and EDP; the frequency and
+// compress axes are swept on selected configurations rather than the
 // full cross product, which keeps the artifact and the CI drift gate's
 // regeneration time bounded while still answering the paper's energy
-// question per policy × threads × sockets.
+// question per policy × threads × sockets — and, for compress, whether
+// trading decode cycles for bytes pays off at each operating point.
 var schedStudyConfigs = []struct {
 	grain     string
 	placement string
 	freq      string
+	compress  bool
 }{
-	{"fixed", "none", "turbo"},
-	{"adaptive", "none", "turbo"},
-	{"adaptive", "firsttouch", "turbo"},
-	{"adaptive", "firsttouch", "balanced"},
-	{"adaptive", "firsttouch", "powersave"},
+	{"fixed", "none", "turbo", false},
+	{"adaptive", "none", "turbo", false},
+	{"adaptive", "firsttouch", "turbo", false},
+	{"adaptive", "firsttouch", "balanced", false},
+	{"adaptive", "firsttouch", "powersave", false},
+	// Compressed adjacency: the sockets=1 baseline (fixed grain, no
+	// placement) isolates the pure decode-cycles-for-bytes trade, and
+	// the headline locality configuration shows it composed with
+	// adaptive grain + first-touch placement, where the smaller
+	// resident footprint also shrinks the remotely-placed byte stream.
+	{"fixed", "none", "turbo", true},
+	{"adaptive", "firsttouch", "turbo", true},
 }
 
 var schedStudyPolicies = []struct {
@@ -105,8 +119,8 @@ func schedStudySockets(policy, placement string) []int {
 }
 
 // generateSchedStudyRows runs GAP BFS and PageRank over the full
-// policy × grain × placement × threads × sockets matrix on el and
-// returns the table. With modeledOnly the two host-dependent columns
+// policy × grain × placement × compress × threads × sockets matrix on
+// el and returns the table. With modeledOnly the two host-dependent columns
 // — wall-clock seconds and the real worker count (min(threads,
 // GOMAXPROCS)) — are zeroed so the output is a pure function of the
 // Spec dimensions (the CI artifact's requirement: the drift gate
@@ -139,7 +153,11 @@ func generateSchedStudyRows(t *testing.T, el *graph.EdgeList, modeledOnly bool) 
 						if cfg.placement == "firsttouch" {
 							m.SetPlacement(true)
 						}
-						instAny, err := gap.New().Load(el, m)
+						eng := gap.New()
+						// Before Load: the compressed structure is built
+						// during construction (and charged there).
+						eng.SetCompress(cfg.compress)
+						instAny, err := eng.Load(el, m)
 						if err != nil {
 							t.Fatal(err)
 						}
@@ -178,12 +196,17 @@ func generateSchedStudyRows(t *testing.T, el *graph.EdgeList, modeledOnly bool) 
 						for _, reg := range m.Trace() {
 							total.Add(reg.Cost)
 						}
+						compress := "off"
+						if cfg.compress {
+							compress = "on"
+						}
 						rows = append(rows, report.SchedStudyRow{
 							Kernel:      kernel,
 							Sched:       pol.name,
 							Grain:       cfg.grain,
 							Placement:   cfg.placement,
 							Freq:        cfg.freq,
+							Compress:    compress,
 							Threads:     threads,
 							Sockets:     sockets,
 							Workers:     workers,
