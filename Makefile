@@ -12,7 +12,11 @@
 # bench-regression gate that fails when the regenerated modeled study
 # -- times, cost counters, or joules -- drifts from the committed
 # artifact; `make compress-ratio` prints kron-16 raw vs delta+varint
-# adjacency bytes and enforces the 2x floor.
+# adjacency bytes and enforces the 2x floor; `make servefig` rewrites
+# the epgd serving study (FIG_serving_study.csv, the admission/
+# degradation load sweep); `make servefig-check` is the serving drift
+# gate that fails when the regenerated study drifts from the committed
+# artifact.
 
 GO ?= go
 FUZZTIME ?= 20s
@@ -23,7 +27,7 @@ FUZZTIME ?= 20s
 # pinned to kron-12 in code, independent of this knob.)
 SCHEDFIG_SCALE ?= 17
 
-.PHONY: all build test race race-full fuzz bench baseline benchfig benchfig-ci benchfig-check compress-ratio speedup-floor big-conformance numa-sweep vet fmt-check
+.PHONY: all build test race race-full fuzz bench baseline benchfig benchfig-ci benchfig-check compress-ratio servefig servefig-check serve-soak speedup-floor big-conformance numa-sweep vet fmt-check
 
 all: test race
 
@@ -45,6 +49,7 @@ fuzz:
 	$(GO) test -fuzz '^FuzzChunkQueueDrain$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/parallel/
 	$(GO) test -fuzz '^FuzzVarintRoundTrip$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/graph/
 	$(GO) test -fuzz '^FuzzCompressedCSREquivalence$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/graph/
+	$(GO) test -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/snap/
 
 # Smoke step: print raw vs delta+varint adjacency bytes on kron-16 and
 # fail below the 2x floor.
@@ -65,6 +70,17 @@ benchfig-ci:
 
 benchfig-check:
 	EPG_SCHEDFIG_CHECK=1 $(GO) test -run TestSchedStudyCIDrift -v -timeout 30m .
+
+servefig:
+	EPG_WRITE_SERVEFIG=1 $(GO) test -run 'TestWriteServeStudy$$' -v .
+
+servefig-check:
+	EPG_SERVEFIG_CHECK=1 $(GO) test -run TestServeStudyDrift -v .
+
+# Race-enabled soak over the live daemon: concurrent clients x panic
+# injection x deadlines x cancellation against the bounded queue.
+serve-soak:
+	$(GO) test -race -count=2 ./internal/server/ ./internal/logfmt/
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

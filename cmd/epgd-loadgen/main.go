@@ -1,0 +1,103 @@
+// Command epgd-loadgen generates the serving study: a deterministic
+// virtual-time load sweep over the epgd admission pipeline. It
+// calibrates the bench's capacity, then pushes Poisson query streams
+// at multiples of it through the queue / token bucket / deadline /
+// degradation machinery, and emits one CSV row per offered-load
+// point. The output is a pure function of (dataset, seed, config) —
+// bit-identical across runs and GOMAXPROCS — which is what lets CI
+// diff it against the committed FIG_serving_study.csv.
+//
+//	epgd-loadgen -out FIG_serving_study.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/hpcl-repro/epg/internal/harness"
+	"github.com/hpcl-repro/epg/internal/server"
+)
+
+func main() {
+	def := server.DefaultStudyConfig()
+	fs := flag.NewFlagSet("epgd-loadgen", flag.ExitOnError)
+	out := fs.String("out", "", "output CSV (default stdout)")
+	dataset := fs.String("dataset", def.Dataset, "dataset")
+	seed := fs.Uint64("seed", def.Seed, "seed for the dataset and the arrival streams")
+	servers := fs.Int("servers", def.Servers, "virtual executors")
+	threads := fs.Int("threads", def.Threads, "modeled threads per executor")
+	queueCap := fs.Int("queue-cap", def.QueueCap, "bounded queue capacity")
+	watermark := fs.Int("watermark", def.Watermark, "degradation watermark")
+	queries := fs.Int("queries", def.NumQueries, "offered queries per load point")
+	multipliers := fs.String("multipliers", joinFloats(def.Multipliers),
+		"comma-separated offered-load multipliers of calibrated capacity")
+	fs.Parse(os.Args[1:])
+
+	cfg := def
+	cfg.Dataset = *dataset
+	cfg.Seed = *seed
+	cfg.Servers = *servers
+	cfg.Threads = *threads
+	cfg.QueueCap = *queueCap
+	cfg.Watermark = *watermark
+	cfg.NumQueries = *queries
+	var err error
+	if cfg.Multipliers, err = parseFloats(*multipliers); err != nil {
+		fatal(err)
+	}
+
+	el, err := harness.ResolveDataset(cfg.Dataset, harness.DatasetOptions{Seed: cfg.Seed})
+	if err != nil {
+		fatal(err)
+	}
+	rows, err := server.GenerateStudy(el, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range rows {
+		if err := r.Stats.Conservation(); err != nil {
+			fatal(err)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := server.WriteStudyCSV(w, rows); err != nil {
+		fatal(err)
+	}
+}
+
+func joinFloats(vals []float64) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad multiplier %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "epgd-loadgen: %v\n", err)
+	os.Exit(1)
+}

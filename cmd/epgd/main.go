@@ -1,0 +1,75 @@
+// Command epgd is the resident-graph query daemon: it loads one
+// dataset, precomputes the PageRank and WCC vectors, and serves point
+// queries over HTTP with admission control, modeled deadlines, and
+// graceful overload degradation (see internal/server).
+//
+//	epgd -dataset kron-14 -addr :8090 -queue-cap 64 -qps 0
+//
+//	GET  /query?op=bfs&src=3&dst=9[&deadline_ms=50]
+//	GET  /metrics
+//	GET  /healthz
+//	POST /refresh
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"github.com/hpcl-repro/epg/internal/server"
+)
+
+func main() {
+	fs := flag.NewFlagSet("epgd", flag.ExitOnError)
+	addr := fs.String("addr", ":8090", "listen address")
+	dataset := fs.String("dataset", "kron-14", "resident dataset (kron-<scale>, dota-league, cit-Patents)")
+	seed := fs.Uint64("seed", 1, "dataset generation seed")
+	executors := fs.Int("executors", 2, "engine instances serving in parallel")
+	threads := fs.Int("threads", 8, "modeled thread count per executor")
+	queueCap := fs.Int("queue-cap", 64, "bounded admission queue capacity (full queue sheds with 429)")
+	watermark := fs.Int("watermark", 0, "queue depth at which degradable queries switch to sketch answers (default cap/2)")
+	qps := fs.Float64("qps", 0, "token-bucket admission rate in queries/sec (0 disables throttling)")
+	burst := fs.Float64("burst", 8, "token-bucket burst size")
+	deadlineMS := fs.Float64("deadline-ms", 0, "default modeled service budget in ms (0 = none; per-query deadline_ms overrides)")
+	landmarks := fs.Int("landmarks", 8, "landmark count for the degradation sketch")
+	compress := fs.Bool("compress", false, "serve from the delta+varint compressed adjacency")
+	faults := fs.Bool("fault-injection", false, "permit op=panic queries (soak testing the panic isolation path)")
+	logQueries := fs.Bool("log-queries", false, "emit one structured line per query to stderr")
+	fs.Parse(os.Args[1:])
+
+	cfg := server.Config{
+		Dataset:   *dataset,
+		Seed:      *seed,
+		Executors: *executors,
+		Threads:   *threads,
+		Admit: server.AdmitConfig{
+			QueueCap:         *queueCap,
+			DegradeWatermark: *watermark,
+			QPS:              *qps,
+			Burst:            *burst,
+		},
+		DefaultDeadlineSec: *deadlineMS / 1e3,
+		Landmarks:          *landmarks,
+		Compress:           *compress,
+		FaultInjection:     *faults,
+	}
+	if *logQueries {
+		cfg.QueryLog = os.Stderr
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer s.Close()
+	fmt.Fprintf(os.Stderr, "epgd: serving %s (%d vertices, weighted=%t) on %s\n",
+		*dataset, s.NumVertices(), s.Weighted(), *addr)
+	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "epgd: %v\n", err)
+	os.Exit(1)
+}

@@ -73,6 +73,12 @@ func (inst *Instance) BFS(root graph.VID) (*engines.BFSResult, error) {
 	var edgesExamined int64
 
 	for frontierLen > 0 {
+		// Cancellation is polled once per level — frontier granularity:
+		// between regions, so an abandoned run has charged exactly the
+		// levels it completed.
+		if err := inst.checkCancel("BFS"); err != nil {
+			return nil, err
+		}
 		wasBottomUp := bottomUp
 		if inst.eng.Alpha > 0 {
 			if !bottomUp && scout > edgesUnexplored/int64(inst.eng.Alpha) {

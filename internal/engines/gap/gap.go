@@ -1,6 +1,8 @@
 package gap
 
 import (
+	"fmt"
+
 	"github.com/hpcl-repro/epg/internal/engines"
 	"github.com/hpcl-repro/epg/internal/graph"
 	"github.com/hpcl-repro/epg/internal/simmachine"
@@ -114,6 +116,27 @@ type Instance struct {
 	// total directed edges, used by the direction-optimizing
 	// heuristic.
 	mEdges int64
+	// cancel, when non-nil, is polled at frontier/bucket/iteration
+	// granularity by the long-running kernels (engines.CancelSetter);
+	// a non-nil return abandons the run with that error.
+	cancel func() error
+}
+
+// SetCancel implements engines.CancelSetter: check is polled between
+// parallel regions (once per BFS level, delta-stepping pass, or
+// PR/WCC iteration). Passing nil removes the hook.
+func (inst *Instance) SetCancel(check func() error) { inst.cancel = check }
+
+// checkCancel polls the cancellation hook, wrapping any error with the
+// kernel name for the caller's structured logs.
+func (inst *Instance) checkCancel(kernel string) error {
+	if inst.cancel == nil {
+		return nil
+	}
+	if err := inst.cancel(); err != nil {
+		return fmt.Errorf("gap: %s canceled: %w", kernel, err)
+	}
+	return nil
 }
 
 // Load implements engines.Engine. It only captures the edge list; the

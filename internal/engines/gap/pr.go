@@ -38,6 +38,9 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 	gPull := inst.m.Grain(n, 1024, 1)
 	gL1 := inst.m.Grain(n, 4096, 1)
 	for iter := 1; iter <= opts.MaxIter; iter++ {
+		if err := inst.checkCancel("PageRank"); err != nil {
+			return nil, err
+		}
 		// Per-vertex contributions and the dangling sum.
 		dr := parallel.NewReducer[float64](parallel.NumChunks(n, gContrib))
 		inst.m.ParallelForChunks(n, gContrib, simmachine.Dynamic, func(lo, hi, chunk, worker int, w *simmachine.W) {
@@ -133,6 +136,9 @@ func (inst *Instance) WCC() (*engines.WCCResult, error) {
 		comp[i] = uint32(i)
 	}
 	for {
+		if err := inst.checkCancel("WCC"); err != nil {
+			return nil, err
+		}
 		var changed int64
 		inst.m.ParallelFor(n, 1024, simmachine.Dynamic, func(lo, hi int, w *simmachine.W) {
 			var edges, localChanged int64

@@ -89,6 +89,11 @@ func (inst *Instance) SSSP(root graph.VID) (*engines.SSSPResult, error) {
 		buckets[bi] = nil
 		var heavyFrontier []graph.VID
 		for len(current) > 0 {
+			// Polled per relaxation pass (bucket granularity), between
+			// regions — the SSSP analogue of the per-level BFS check.
+			if err := inst.checkCancel("SSSP"); err != nil {
+				return nil, err
+			}
 			heavyFrontier = append(heavyFrontier, current...)
 			g := inst.m.Grain(len(current), grain, 1)
 			nchunks := parallel.NumChunks(len(current), g)

@@ -123,6 +123,12 @@ func (inst *Instance) ssspSync(root graph.VID) (*engines.SSSPResult, error) {
 		buckets[bi] = nil
 		var heavyFrontier []graph.VID
 		for len(current) > 0 {
+			// Same bucket-granularity cancellation point as the chaotic
+			// variant; the check itself charges nothing, so modeled
+			// durations are untouched when no deadline fires.
+			if err := inst.checkCancel("SSSP"); err != nil {
+				return nil, err
+			}
 			heavyFrontier = append(heavyFrontier, current...)
 			pass++
 			gather(current, bi, false)

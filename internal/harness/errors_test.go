@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/hpcl-repro/epg/internal/core"
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/simmachine"
+)
+
+// failingEngine is a registry stub whose Load always fails, standing in
+// for a real engine hitting an ingest error (bad mmap, exhausted
+// memory) so the harness's wrapping of Load errors is testable without
+// constructing a graph bad enough to break a real engine.
+type failingEngine struct{}
+
+func (failingEngine) Name() string                   { return "Failing" }
+func (failingEngine) Has(alg engines.Algorithm) bool { return true }
+func (failingEngine) SeparateConstruction() bool     { return false }
+func (failingEngine) Load(el *graph.EdgeList, m *simmachine.Machine) (engines.Instance, error) {
+	return nil, fmt.Errorf("failing: ingest exploded")
+}
+
+// TestRunErrorPaths drives Runner.Run down each of its error returns
+// and asserts the failure surfaces as a wrapped, descriptive error —
+// not a zero-result success and not a panic.
+func TestRunErrorPaths(t *testing.T) {
+	goodEL, err := ResolveDataset("kron-9", DatasetOptions{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No vertex exceeds degree 1 after homogenization: a single
+	// undirected edge. SelectRoots requires degree > 1, so root
+	// selection must fail loudly rather than running zero trials.
+	rootlessEL := &graph.EdgeList{
+		NumVertices: 2,
+		Edges:       []graph.Edge{{Src: 0, Dst: 1}},
+	}
+	failReg := engines.NewRegistry()
+	failReg.Register("Failing", func() engines.Engine { return failingEngine{} })
+
+	cases := []struct {
+		name    string
+		runner  *Runner
+		spec    core.Spec
+		el      *graph.EdgeList
+		wantSub string
+	}{
+		{
+			name:    "invalid freq state",
+			runner:  testRunner(),
+			spec:    func() core.Spec { s := testSpec(engines.BFS, 1); s.FreqState = "warp9"; return s }(),
+			el:      goodEL,
+			wantSub: "unknown frequency state",
+		},
+		{
+			name:   "explicit engine lacks algorithm",
+			runner: testRunner(),
+			spec: func() core.Spec {
+				s := testSpec(engines.BFS, 1)
+				s.Engines = []string{"PowerGraph"} // famously lacks BFS
+				return s
+			}(),
+			el:      goodEL,
+			wantSub: "does not implement BFS",
+		},
+		{
+			name:    "unknown engine name",
+			runner:  testRunner(),
+			spec:    func() core.Spec { s := testSpec(engines.BFS, 1); s.Engines = []string{"Pregel"}; return s }(),
+			el:      goodEL,
+			wantSub: "unknown engine",
+		},
+		{
+			name:    "graph with no eligible roots",
+			runner:  testRunner(),
+			spec:    testSpec(engines.BFS, 1),
+			el:      rootlessEL,
+			wantSub: "no roots with degree > 1",
+		},
+		{
+			name:    "engine load failure is wrapped",
+			runner:  NewRunner(failReg),
+			spec:    testSpec(engines.BFS, 1),
+			el:      goodEL,
+			wantSub: "harness: Failing: failing: ingest exploded",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			results, err := tc.runner.Run(tc.spec, tc.el)
+			if err == nil {
+				t.Fatalf("Run succeeded with %d results, want error containing %q",
+					len(results), tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestKnobDropWarnings asserts the harness announces — rather than
+// silently ignores — spec knobs an engine has no setter for, and stays
+// quiet for engines that honor them.
+func TestKnobDropWarnings(t *testing.T) {
+	el, err := ResolveDataset("kron-9", DatasetOptions{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(engine string, compress, syncSSSP bool) string {
+		t.Helper()
+		r := testRunner()
+		var warns bytes.Buffer
+		r.Warnings = &warns
+		spec := testSpec(engines.BFS, 1)
+		spec.Engines = []string{engine}
+		spec.Compress = compress
+		spec.SyncSSSP = syncSSSP
+		if _, err := r.Run(spec, el); err != nil {
+			t.Fatalf("%s run failed: %v", engine, err)
+		}
+		return warns.String()
+	}
+
+	// GraphMat has no compressed-adjacency path: Compress must warn.
+	got := run("GraphMat", true, false)
+	if !strings.Contains(got, "event=knob-drop") ||
+		!strings.Contains(got, "engine=GraphMat") ||
+		!strings.Contains(got, "knob=compress") {
+		t.Errorf("GraphMat+Compress warning missing or malformed: %q", got)
+	}
+
+	// GAP implements both setters: no warning for either knob.
+	if got := run("GAP", true, true); got != "" {
+		t.Errorf("GAP honored knobs but warned: %q", got)
+	}
+
+	// GraphMat also lacks a synchronous SSSP switch; assert the knob
+	// name distinguishes which request was dropped.
+	if got := run("GraphMat", false, true); !strings.Contains(got, "knob=sync-sssp") {
+		t.Errorf("GraphMat+SyncSSSP warning missing: %q", got)
+	}
+
+	// A nil Warnings writer must stay the default and not crash.
+	r := testRunner()
+	spec := testSpec(engines.BFS, 1)
+	spec.Engines = []string{"GraphMat"}
+	spec.Compress = true
+	if _, err := r.Run(spec, el); err != nil {
+		t.Fatalf("nil-Warnings run failed: %v", err)
+	}
+}

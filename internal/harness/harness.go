@@ -2,11 +2,13 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"github.com/hpcl-repro/epg/internal/core"
 	"github.com/hpcl-repro/epg/internal/engines"
 	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/logfmt"
 	"github.com/hpcl-repro/epg/internal/parallel"
 	"github.com/hpcl-repro/epg/internal/power"
 	"github.com/hpcl-repro/epg/internal/simmachine"
@@ -21,6 +23,12 @@ type Runner struct {
 	Registry *engines.Registry
 	Model    simmachine.Model
 	Power    power.Constants
+	// Warnings, when non-nil, receives structured one-line warnings
+	// about spec knobs an engine could not honor (logfmt key=value
+	// style). Nil discards them — but a dropped knob means the result
+	// row does not measure what the spec asked for, so study drivers
+	// should wire this to stderr or a log.
+	Warnings io.Writer
 }
 
 // NewRunner returns a runner over the given registry with the paper's
@@ -102,14 +110,22 @@ func (r *Runner) runEngine(spec core.Spec, el *graph.EdgeList, name string, root
 	if spec.SyncSSSP {
 		if s, ok := eng.(engines.SyncSSSPSetter); ok {
 			s.SetSyncSSSP(true)
+		} else {
+			// Not silently: a spec that asked for the synchronous
+			// variant and got the default would mislabel its results.
+			logfmt.EmitKnobWarning(r.Warnings, name, "sync-sssp")
 		}
 	}
 	if spec.Compress {
 		// Before Load: the compressed adjacency is built during the
-		// construction phase. Engines without a compressed path keep
-		// their raw structures.
+		// construction phase.
 		if s, ok := eng.(engines.CompressSetter); ok {
 			s.SetCompress(true)
+		} else {
+			// Engines without a compressed path keep their raw
+			// structures; say so instead of quietly measuring the
+			// uncompressed layout under a "compressed" label.
+			logfmt.EmitKnobWarning(r.Warnings, name, "compress")
 		}
 	}
 	// The DVFS operating point scales the machine model (core clocks)
@@ -216,13 +232,14 @@ func (r *Runner) runEngine(spec core.Spec, el *graph.EdgeList, name string, root
 		return res, nil
 	}
 
+	// Trial count is spec.NumRoots() for every kernel, root-dependent
+	// or not. The paper runs 32 repetitions per (system, algorithm,
+	// dataset) across the board: for BFS/SSSP the repetitions are the
+	// 32 distinct roots, while for root-independent kernels (LCC, WCC,
+	// PageRank) the same count serves as plain variance repetitions.
+	// No special case is needed — an earlier branch here re-assigned
+	// the identical value for LCC/WCC and was deleted as dead code.
 	trials := spec.NumRoots()
-	if spec.Algorithm == engines.LCC || spec.Algorithm == engines.WCC {
-		// Root-independent kernels: the paper's 32 repetitions are
-		// about variance; the harness keeps them unless the spec
-		// asked for fewer.
-		trials = spec.NumRoots()
-	}
 	results := make([]core.Result, 0, trials)
 	for trial := 0; trial < trials; trial++ {
 		res, err := perTrial(trial)

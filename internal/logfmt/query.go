@@ -1,0 +1,79 @@
+package logfmt
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// QueryRecord is one served query in the epgd daemon's structured log:
+// a single key=value line per query, the serving-path analogue of the
+// per-run engine logs this package normalizes.
+type QueryRecord struct {
+	Seq      int64
+	Op       string
+	Src      uint32
+	Dst      uint32
+	Status   string // ok | shed | deadline | panic | error
+	Degraded bool
+	// ModeledUS is the modeled service time in microseconds (0 for
+	// queries shed at admission, which never reach an executor).
+	ModeledUS float64
+	// Depth is the admission queue depth observed at arrival.
+	Depth int
+}
+
+// EmitQuery writes r as one line. Values round-trip through
+// ParseQuery exactly: the float uses the shortest representation.
+func EmitQuery(w io.Writer, r QueryRecord) error {
+	_, err := fmt.Fprintf(w, "query seq=%d op=%s src=%d dst=%d status=%s degraded=%t modeled_us=%s depth=%d\n",
+		r.Seq, r.Op, r.Src, r.Dst, r.Status, r.Degraded,
+		strconv.FormatFloat(r.ModeledUS, 'g', -1, 64), r.Depth)
+	return err
+}
+
+// ParseQuery parses one EmitQuery line.
+func ParseQuery(line string) (QueryRecord, error) {
+	var r QueryRecord
+	line = strings.TrimSpace(line)
+	fields := strings.Fields(line)
+	if len(fields) == 0 || fields[0] != "query" {
+		return r, fmt.Errorf("logfmt: not a query record: %q", line)
+	}
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return r, fmt.Errorf("logfmt: bad field %q in query record", f)
+		}
+		var err error
+		switch k {
+		case "seq":
+			r.Seq, err = strconv.ParseInt(v, 10, 64)
+		case "op":
+			r.Op = v
+		case "src":
+			var u uint64
+			u, err = strconv.ParseUint(v, 10, 32)
+			r.Src = uint32(u)
+		case "dst":
+			var u uint64
+			u, err = strconv.ParseUint(v, 10, 32)
+			r.Dst = uint32(u)
+		case "status":
+			r.Status = v
+		case "degraded":
+			r.Degraded, err = strconv.ParseBool(v)
+		case "modeled_us":
+			r.ModeledUS, err = strconv.ParseFloat(v, 64)
+		case "depth":
+			r.Depth, err = strconv.Atoi(v)
+		default:
+			return r, fmt.Errorf("logfmt: unknown query field %q", k)
+		}
+		if err != nil {
+			return r, fmt.Errorf("logfmt: bad %s value %q: %v", k, v, err)
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,47 @@
+package logfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQueryRecordRoundTrip(t *testing.T) {
+	for _, rec := range []QueryRecord{
+		{Seq: 1, Op: "bfs", Src: 3, Dst: 9, Status: "ok", ModeledUS: 12.345678901234567, Depth: 2},
+		{Seq: 42, Op: "sssp", Src: 0, Dst: 4294967295, Status: "deadline", Degraded: true, ModeledUS: 0.1},
+		{Seq: 7, Op: "pr", Status: "shed", Depth: 8},
+		{Seq: 0, Op: "khop", Status: "panic", ModeledUS: 1e-9},
+	} {
+		var b strings.Builder
+		if err := EmitQuery(&b, rec); err != nil {
+			t.Fatal(err)
+		}
+		line := b.String()
+		if !strings.HasSuffix(line, "\n") {
+			t.Fatalf("record not newline-terminated: %q", line)
+		}
+		got, err := ParseQuery(line)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if got != rec {
+			t.Errorf("round trip mutated record:\n  in:  %+v\n  out: %+v", rec, got)
+		}
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	for name, line := range map[string]string{
+		"empty":         "",
+		"wrong prefix":  "run seq=1",
+		"bare field":    "query seq",
+		"bad seq":       "query seq=abc",
+		"bad src":       "query src=-1",
+		"bad degraded":  "query degraded=maybe",
+		"unknown field": "query wallclock_us=9",
+	} {
+		if _, err := ParseQuery(line); err == nil {
+			t.Errorf("%s: ParseQuery(%q) accepted", name, line)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package logfmt
+
+import (
+	"fmt"
+	"io"
+)
+
+// EmitKnobWarning writes one structured warning line recording that a
+// spec knob was requested but the engine has no setter for it, so the
+// run proceeded without it. The original framework's per-system shell
+// drivers silently ignored flags a system did not understand — which
+// is exactly how a "compressed" GraphMat run that never compressed
+// anything ends up in a results table. The line is machine-parseable
+// (key=value pairs, one line) and names both the engine and the knob:
+//
+//	warn event=knob-drop engine=GraphMat knob=compress msg="engine has no setter; knob ignored"
+//
+// A nil writer is allowed and discards the warning.
+func EmitKnobWarning(w io.Writer, engine, knob string) error {
+	if w == nil {
+		return nil
+	}
+	_, err := fmt.Fprintf(w,
+		"warn event=knob-drop engine=%s knob=%s msg=\"engine has no setter; knob ignored\"\n",
+		engine, knob)
+	return err
+}

@@ -129,14 +129,37 @@ func (w *pworker) run(t task) bool {
 // no channels, and no synchronization — the serial baseline really is
 // serial. fn must not call Run on the same pool (regions do not nest;
 // the engines' parallel regions never do).
+//
+// A panic inside fn on ANY worker is captured, the region is run to
+// completion on the remaining workers, and the first panic value is
+// re-raised on the calling goroutine. Without this a panicking pooled
+// goroutine would kill the whole process (and strand the region's
+// WaitGroup); with it, a long-running caller — the serving daemon —
+// can recover per-query panics at the point it issued the region. The
+// original panic value is preserved so callers that assert on panic
+// messages (queue-overflow diagnostics) see it unchanged; the stack of
+// the panicking worker is lost, which the re-raise trades for process
+// survival.
 func (p *Pool) Run(workers int, fn func(worker int)) {
 	if workers <= 1 {
 		fn(0)
 		return
 	}
 	var wg sync.WaitGroup
+	var panicked atomic.Bool
+	var panicVal any
+	capture := func(worker int) {
+		defer func() {
+			if r := recover(); r != nil {
+				if panicked.CompareAndSwap(false, true) {
+					panicVal = r // wg.Wait() orders this write before the read below
+				}
+			}
+		}()
+		fn(worker)
+	}
 	wg.Add(workers - 1)
-	t := task{fn: fn, done: &wg}
+	t := task{fn: capture, done: &wg}
 	for id := 1; id < workers; id++ {
 		t.id = id
 		select {
@@ -152,8 +175,11 @@ func (p *Pool) Run(workers int, fn func(worker int)) {
 			go w.loop(p)
 		}
 	}
-	fn(0)
+	capture(0)
 	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
 }
 
 // NumChunks returns the chunk count ParallelFor uses for n items at

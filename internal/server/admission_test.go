@@ -1,0 +1,153 @@
+package server
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTokenBucketRefill(t *testing.T) {
+	b := newTokenBucket(10, 2) // 10 qps, burst 2
+	if !b.allow(0) || !b.allow(0) {
+		t.Fatal("burst tokens not available")
+	}
+	if b.allow(0) {
+		t.Fatal("third token at t=0 should be throttled")
+	}
+	if b.allow(0.05) {
+		t.Fatal("0.5 tokens refilled, not a whole one")
+	}
+	if !b.allow(0.15) {
+		t.Fatal("after 0.15s at 10 qps a token should exist")
+	}
+	// Refill caps at burst: a long idle period grants burst, not more.
+	for i := 0; i < 2; i++ {
+		if !b.allow(100) {
+			t.Fatalf("token %d of burst after idle missing", i)
+		}
+	}
+	if b.allow(100) {
+		t.Fatal("idle refill exceeded burst")
+	}
+}
+
+func TestTokenBucketDisabled(t *testing.T) {
+	b := newTokenBucket(0, 1)
+	for i := 0; i < 1000; i++ {
+		if !b.allow(0) {
+			t.Fatal("qps<=0 must disable throttling")
+		}
+	}
+}
+
+func TestAdmitterQueueBound(t *testing.T) {
+	a := newAdmitter(AdmitConfig{QueueCap: 3, DegradeWatermark: 2})
+	for i := 0; i < 3; i++ {
+		if d := a.tryAdmit(0, false); d != admitOK {
+			t.Fatalf("admit %d: got %v", i, d)
+		}
+	}
+	if d := a.tryAdmit(0, false); d != shedQueueFull {
+		t.Fatalf("admit at cap: got %v, want shedQueueFull", d)
+	}
+	if a.Depth() != 3 || a.MaxDepth() != 3 {
+		t.Fatalf("depth %d max %d, want 3/3", a.Depth(), a.MaxDepth())
+	}
+	a.release()
+	if d := a.tryAdmit(0, true); d != admitDegraded {
+		t.Fatalf("depth 2 >= watermark 2 degradable: got %v, want admitDegraded", d)
+	}
+	if a.Depth() != 3 {
+		t.Fatalf("depth %d after readmit, want 3", a.Depth())
+	}
+}
+
+func TestAdmitterWatermarkOnlyDegradesDegradable(t *testing.T) {
+	a := newAdmitter(AdmitConfig{QueueCap: 4, DegradeWatermark: 1})
+	a.tryAdmit(0, false)
+	if d := a.tryAdmit(0, false); d != admitOK {
+		t.Fatalf("non-degradable op above watermark: got %v, want admitOK", d)
+	}
+	if d := a.tryAdmit(0, true); d != admitDegraded {
+		t.Fatalf("degradable op above watermark: got %v, want admitDegraded", d)
+	}
+}
+
+func TestAdmitterThrottleBeforeQueueHasRoom(t *testing.T) {
+	a := newAdmitter(AdmitConfig{QueueCap: 10, QPS: 1, Burst: 1})
+	if d := a.tryAdmit(0, false); d != admitOK {
+		t.Fatalf("first: %v", d)
+	}
+	if d := a.tryAdmit(0, false); d != shedThrottled {
+		t.Fatalf("bucket empty: got %v, want shedThrottled", d)
+	}
+	// Throttled arrivals must not consume queue depth.
+	if a.Depth() != 1 {
+		t.Fatalf("depth %d after throttle, want 1", a.Depth())
+	}
+}
+
+func TestAdmitterReserveRespectsCap(t *testing.T) {
+	a := newAdmitter(AdmitConfig{QueueCap: 1})
+	if !a.tryReserve() {
+		t.Fatal("reserve into empty queue failed")
+	}
+	if a.tryReserve() {
+		t.Fatal("reserve past cap succeeded")
+	}
+	a.release()
+	if !a.tryReserve() {
+		t.Fatal("reserve after release failed")
+	}
+}
+
+// TestAdmitterConcurrentLedger hammers the admitter from many
+// goroutines and asserts the exact-accounting invariant and the depth
+// bound — the live-server version of the sim's Conservation check.
+// Run under -race in the serving soak CI step.
+func TestAdmitterConcurrentLedger(t *testing.T) {
+	const cap = 7
+	a := newAdmitter(AdmitConfig{QueueCap: cap})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	admitted, shed := 0, 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			localAdmit, localShed := 0, 0
+			held := 0
+			for i := 0; i < 1000; i++ {
+				switch a.tryAdmit(0, false) {
+				case admitOK:
+					localAdmit++
+					// Hold a slot every few admits so the queue
+					// actually fills and other goroutines see sheds.
+					if i%3 == g%3 && held < 1 {
+						held++
+					} else {
+						a.release()
+					}
+				case shedQueueFull:
+					localShed++
+				}
+			}
+			for ; held > 0; held-- {
+				a.release()
+			}
+			mu.Lock()
+			admitted += localAdmit
+			shed += localShed
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	if admitted+shed != 8*1000 {
+		t.Fatalf("admitted %d + shed %d != offered %d", admitted, shed, 8*1000)
+	}
+	if a.Depth() != 0 {
+		t.Fatalf("final depth %d, want 0", a.Depth())
+	}
+	if a.MaxDepth() > cap {
+		t.Fatalf("max depth %d exceeded cap %d", a.MaxDepth(), cap)
+	}
+}

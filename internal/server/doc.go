@@ -1,0 +1,52 @@
+// Package server implements epgd, a resident-graph query daemon over
+// the reproduction's engines: the dataset is loaded and homogenized
+// once, PageRank and WCC vectors are precomputed (and refreshable),
+// and point queries — BFS hop distance, SSSP weighted distance,
+// PR/WCC lookups, k-hop neighborhood size — are served from memory on
+// the modeled worker pool.
+//
+// The serving layer is built around three robustness mechanisms, in
+// the order a request meets them:
+//
+//	          ┌────────────────────────────────────────────────┐
+//	request → │ admission                                      │
+//	          │   queue full (depth = cap) ──────────→ 429 shed │
+//	          │   token bucket empty ────────────────→ 429 shed │
+//	          │   depth ≥ watermark & degradable op ─→ admit*   │
+//	          │   otherwise ─────────────────────────→ admit    │
+//	          └───────────────┬────────────────────────────────┘
+//	                  bounded FIFO queue
+//	          ┌───────────────┴────────────────────────────────┐
+//	          │ executor (one engine instance per worker)      │
+//	          │   admit* → landmark-sketch answer, degraded:true│
+//	          │   deadline hook polled per level/pass/iteration │
+//	          │     budget exhausted ────────────────→ 504     │
+//	          │   panic → recovered, counted ────────→ 500     │
+//	          └────────────────────────────────────────────────┘
+//
+// Admission is a token bucket in front of a bounded FIFO queue: when
+// the queue is at capacity the request is shed immediately (the queue
+// never grows without bound), and a drained bucket sheds before the
+// queue is touched. Between the degrade watermark and the cap,
+// distance queries are still admitted but answered from a precomputed
+// landmark-distance sketch — an upper bound computed in microseconds
+// instead of a full traversal — and tagged degraded:true, so overload
+// degrades answer precision before it degrades availability.
+//
+// Deadlines are cooperative: the executor installs a cancellation
+// hook (engines.CancelSetter) that the kernels poll at coarse,
+// schedule-independent points — once per BFS level, delta-stepping
+// relaxation pass, or PR/WCC iteration — so a runaway query is
+// abandoned at the next frontier with the machine left at the modeled
+// time it actually consumed. Panics inside a query (including inside
+// parallel regions, which internal/parallel forwards to the
+// submitting goroutine) are recovered per query, counted, and
+// reported as structured 500s; the daemon never dies with a request.
+//
+// Determinism: query budgets and reported service times are modeled
+// seconds on the executor's simmachine, so the load-generator study
+// (Simulate, WriteServeStudy) is a virtual-time discrete-event
+// simulation whose every output column is a pure function of the
+// seed — byte-identical across runs, GOMAXPROCS, and host load, and
+// therefore gateable by exact comparison (make servefig-check).
+package server

@@ -1,0 +1,214 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/engines/gap"
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/simmachine"
+)
+
+// errDeadline is the cancellation cause when a query's modeled budget
+// runs out; kernels return it wrapped (e.g. "gap: BFS canceled: ...").
+var errDeadline = errors.New("server: deadline budget exhausted")
+
+// Modeled costs of the serving-only paths. Traversal kernels charge
+// through their engines; these cover the O(1) lookups and the k-hop
+// walk, so every query kind has a nonzero modeled service time.
+var (
+	costVectorLookup = simmachine.Cost{Cycles: 200, Bytes: 64}
+	costSketchProbe  = simmachine.Cost{Cycles: 40, Bytes: 16} // per landmark
+	costKHopVertex   = simmachine.Cost{Cycles: 4, Bytes: 8}
+	costKHopEdge     = simmachine.Cost{Cycles: 6, Bytes: 10}
+)
+
+// executor owns one engine instance bound to one simmachine and
+// serves queries one at a time — the Machine is not concurrent-safe,
+// so an executor is never shared between in-flight queries. The
+// served engine is GAP with synchronous SSSP forced on: the chaotic
+// default's modeled durations are schedule-dependent, and serving
+// times must be a pure function of query content for the
+// deterministic study (and for comparable live latencies).
+type executor struct {
+	id       int
+	m        *simmachine.Machine
+	inst     engines.Instance
+	canceler engines.CancelSetter
+	csr      *graph.CSR // homogenized, shared read-only across executors
+	weighted bool
+}
+
+// newExecutor loads el into a fresh GAP instance on its own machine.
+func newExecutor(id int, el *graph.EdgeList, csr *graph.CSR, threads int, compress bool) (*executor, error) {
+	eng := gap.New()
+	eng.SetSyncSSSP(true)
+	if compress {
+		eng.SetCompress(true)
+	}
+	m := simmachine.New(simmachine.Haswell72(), threads)
+	inst, err := eng.Load(el, m)
+	if err != nil {
+		return nil, fmt.Errorf("server: executor %d load: %w", id, err)
+	}
+	inst.BuildStructure()
+	canceler, ok := inst.(engines.CancelSetter)
+	if !ok {
+		return nil, fmt.Errorf("server: engine instance lacks cancellation support")
+	}
+	return &executor{
+		id:       id,
+		m:        m,
+		inst:     inst,
+		canceler: canceler,
+		csr:      csr,
+		weighted: el.Weighted,
+	}, nil
+}
+
+// vectors are the precomputed, refreshable lookup answers.
+type vectors struct {
+	pr  []float64
+	wcc []graph.VID
+}
+
+// computeVectors runs PageRank and WCC on this executor's instance.
+// Startup/refresh work: charged to the machine like any kernel, but
+// never part of a query's budget.
+func (e *executor) computeVectors() (vectors, error) {
+	pr, err := e.inst.PageRank(engines.DefaultPROpts())
+	if err != nil {
+		return vectors{}, fmt.Errorf("server: pagerank precompute: %w", err)
+	}
+	wcc, err := e.inst.WCC()
+	if err != nil {
+		return vectors{}, fmt.Errorf("server: wcc precompute: %w", err)
+	}
+	return vectors{pr: pr.Rank, wcc: wcc.Component}, nil
+}
+
+// run serves one query. degraded selects the sketch path for
+// degradable ops; ctx (nil in the virtual-time simulation) adds live
+// client-cancellation to the deadline hook. Panics anywhere below —
+// engine kernels included; internal/parallel re-raises worker panics
+// on this goroutine — are recovered into a StatusPanic response, so a
+// poisoned query costs one response, not the daemon.
+func (e *executor) run(ctx context.Context, q Query, budget float64, degraded bool, vec vectors, sketch *Sketch) (resp Response) {
+	resp = Response{Op: q.Op, Source: q.Source, Target: q.Target, Status: StatusOK}
+	_, start := e.m.Mark()
+	defer func() {
+		if r := recover(); r != nil {
+			resp.Status = StatusPanic
+			resp.Err = fmt.Sprintf("recovered panic: %v", r)
+		}
+		_, end := e.m.Mark()
+		resp.ModeledSec = end - start
+	}()
+
+	deadline := func() error {
+		if budget > 0 && e.m.Elapsed()-start > budget {
+			return errDeadline
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	e.canceler.SetCancel(deadline)
+	defer e.canceler.SetCancel(nil)
+
+	if degraded && q.degradable(e.weighted) {
+		e.m.Serial(func(w *simmachine.W) {
+			w.Charge(costSketchProbe.Scale(float64(sketch.lookups() + 1)))
+		})
+		resp.Degraded = true
+		switch q.Op {
+		case OpBFS:
+			resp.Value = sketch.EstimateHops(q.Source, q.Target)
+		case OpSSSP:
+			resp.Value = sketch.EstimateDist(q.Source, q.Target)
+		}
+		return resp
+	}
+
+	var err error
+	switch q.Op {
+	case OpBFS:
+		var r *engines.BFSResult
+		if r, err = e.inst.BFS(q.Source); err == nil {
+			resp.Value = float64(r.Depth[q.Target])
+		}
+	case OpSSSP:
+		var r *engines.SSSPResult
+		if r, err = e.inst.SSSP(q.Source); err == nil {
+			if d := r.Dist[q.Target]; math.IsInf(d, 1) {
+				resp.Value = -1
+			} else {
+				resp.Value = d
+			}
+		}
+	case OpPR:
+		e.m.Serial(func(w *simmachine.W) { w.Charge(costVectorLookup) })
+		resp.Value = vec.pr[q.Source]
+	case OpWCC:
+		e.m.Serial(func(w *simmachine.W) { w.Charge(costVectorLookup.Scale(2)) })
+		if vec.wcc[q.Source] == vec.wcc[q.Target] {
+			resp.Value = 1
+		}
+	case OpKHop:
+		resp.Value, err = e.khop(q.Source, q.K, deadline)
+	case OpPanic:
+		panic("injected fault (op=panic)")
+	default:
+		err = fmt.Errorf("unknown op %q", q.Op)
+	}
+	if err != nil {
+		if errors.Is(err, errDeadline) || errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded) {
+			resp.Status = StatusDeadline
+		} else {
+			resp.Status = StatusError
+		}
+		resp.Err = err.Error()
+	}
+	return resp
+}
+
+// khop counts vertices within k hops of src with a serial truncated
+// BFS on the homogenized CSR, charging per vertex and edge touched.
+// The deadline hook is polled once per level, matching the engines'
+// frontier granularity.
+func (e *executor) khop(src graph.VID, k int, deadline func() error) (float64, error) {
+	seen := make(map[graph.VID]bool, 64)
+	seen[src] = true
+	frontier := []graph.VID{src}
+	count := 1
+	for level := 0; level < k && len(frontier) > 0; level++ {
+		if err := deadline(); err != nil {
+			return 0, fmt.Errorf("khop canceled at level %d: %w", level, err)
+		}
+		var next []graph.VID
+		var edges int
+		for _, v := range frontier {
+			for _, u := range e.csr.Neighbors(v) {
+				edges++
+				if !seen[u] {
+					seen[u] = true
+					next = append(next, u)
+					count++
+				}
+			}
+		}
+		e.m.Serial(func(w *simmachine.W) {
+			w.Charge(costKHopVertex.Scale(float64(len(frontier))))
+			w.Charge(costKHopEdge.Scale(float64(edges)))
+		})
+		frontier = next
+	}
+	return float64(count), nil
+}

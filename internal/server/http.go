@@ -1,0 +1,131 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"github.com/hpcl-repro/epg/internal/graph"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	GET  /query?op=bfs&src=3&dst=9[&k=2][&deadline_ms=50]
+//	GET  /metrics
+//	GET  /healthz
+//	POST /refresh
+//
+// Status mapping: 200 served (including degraded answers — check the
+// "degraded" field), 400 invalid query, 429 shed by admission
+// (Retry-After: 1), 500 recovered panic or engine error, 504 deadline
+// budget exhausted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/refresh", s.handleRefresh)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"err": "GET only"})
+		return
+	}
+	q, err := parseQueryParams(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"err": err.Error()})
+		return
+	}
+	resp := s.Submit(r.Context(), q)
+	code := http.StatusOK
+	switch resp.Status {
+	case StatusShed:
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusTooManyRequests
+	case StatusDeadline:
+		code = http.StatusGatewayTimeout
+	case StatusPanic:
+		code = http.StatusInternalServerError
+	case StatusError:
+		// Validation errors are the client's; engine errors ours.
+		if s.closed.Load() {
+			code = http.StatusServiceUnavailable
+		} else if resp.ModeledSec == 0 {
+			code = http.StatusBadRequest
+		} else {
+			code = http.StatusInternalServerError
+		}
+	}
+	writeJSON(w, code, resp)
+}
+
+func parseQueryParams(r *http.Request) (Query, error) {
+	v := r.URL.Query()
+	q := Query{Op: Op(v.Get("op"))}
+	parse := func(key string) (graph.VID, error) {
+		u, err := strconv.ParseUint(v.Get(key), 10, 32)
+		return graph.VID(u), err
+	}
+	var err error
+	if v.Get("src") != "" {
+		if q.Source, err = parse("src"); err != nil {
+			return q, err
+		}
+	}
+	if v.Get("dst") != "" {
+		if q.Target, err = parse("dst"); err != nil {
+			return q, err
+		}
+	}
+	if ks := v.Get("k"); ks != "" {
+		if q.K, err = strconv.Atoi(ks); err != nil {
+			return q, err
+		}
+	}
+	if ds := v.Get("deadline_ms"); ds != "" {
+		ms, err := strconv.ParseFloat(ds, 64)
+		if err != nil {
+			return q, err
+		}
+		q.DeadlineSec = ms / 1e3
+	}
+	return q, nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.Metrics()
+	writeJSON(w, http.StatusOK, struct {
+		MetricsSnapshot
+		QueueDepth    int `json:"queue_depth"`
+		MaxQueueDepth int `json:"max_queue_depth"`
+	}{snap, s.QueueDepth(), s.MaxQueueDepth()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"dataset":  s.cfg.Dataset,
+		"vertices": s.NumVertices(),
+		"weighted": s.Weighted(),
+	})
+}
+
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"err": "POST only"})
+		return
+	}
+	if err := s.Refresh(r.Context()); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"err": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

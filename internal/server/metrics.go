@@ -1,0 +1,51 @@
+package server
+
+import "sync/atomic"
+
+// Metrics are the daemon's cumulative counters. All fields are atomic;
+// Snapshot returns a consistent-enough copy for reporting (individual
+// loads — serving metrics, not an invariant ledger; the exact
+// offered = admitted + shed identity is asserted where admission is
+// serialized, in the admitter and the virtual-time simulation).
+type Metrics struct {
+	Offered          atomic.Int64
+	Admitted         atomic.Int64
+	ShedQueueFull    atomic.Int64
+	ShedThrottled    atomic.Int64
+	Rejected         atomic.Int64 // invalid queries (400s)
+	Degraded         atomic.Int64
+	DeadlineExceeded atomic.Int64
+	Panics           atomic.Int64
+	Errors           atomic.Int64
+	Completed        atomic.Int64
+}
+
+// MetricsSnapshot is the plain-struct view served by /metrics.
+type MetricsSnapshot struct {
+	Offered          int64 `json:"offered"`
+	Admitted         int64 `json:"admitted"`
+	ShedQueueFull    int64 `json:"shed_queue_full"`
+	ShedThrottled    int64 `json:"shed_throttled"`
+	Rejected         int64 `json:"rejected"`
+	Degraded         int64 `json:"degraded"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	Panics           int64 `json:"panics"`
+	Errors           int64 `json:"errors"`
+	Completed        int64 `json:"completed"`
+}
+
+// Snapshot copies the counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Offered:          m.Offered.Load(),
+		Admitted:         m.Admitted.Load(),
+		ShedQueueFull:    m.ShedQueueFull.Load(),
+		ShedThrottled:    m.ShedThrottled.Load(),
+		Rejected:         m.Rejected.Load(),
+		Degraded:         m.Degraded.Load(),
+		DeadlineExceeded: m.DeadlineExceeded.Load(),
+		Panics:           m.Panics.Load(),
+		Errors:           m.Errors.Load(),
+		Completed:        m.Completed.Load(),
+	}
+}

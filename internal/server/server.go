@@ -1,0 +1,364 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/harness"
+	"github.com/hpcl-repro/epg/internal/logfmt"
+)
+
+// Config parameterizes a daemon.
+type Config struct {
+	// Dataset is a harness dataset name ("kron-12", "dota-league",
+	// "cit-Patents"); Seed feeds the synthetic generators.
+	Dataset string
+	Seed    uint64
+	// Executors is the number of engine instances serving in parallel
+	// (each owns a machine and serves one query at a time); Threads is
+	// the modeled thread count of each. Defaults: 2 and 8.
+	Executors int
+	Threads   int
+	// Admit configures admission control; zero values get defaults
+	// (QueueCap 64, watermark half the cap, throttling off).
+	Admit AdmitConfig
+	// DefaultDeadlineSec is the modeled service budget applied when a
+	// query does not carry one; <= 0 means no default budget.
+	DefaultDeadlineSec float64
+	// Landmarks sizes the degradation sketch (default 8; 0 after
+	// defaulting disables degraded answers).
+	Landmarks int
+	// Compress serves BFS/PR from the delta+varint compressed
+	// adjacency (trades decode cycles for bandwidth, as in the
+	// compression study).
+	Compress bool
+	// FaultInjection permits OpPanic queries, for soak tests that
+	// prove panic isolation.
+	FaultInjection bool
+	// QueryLog, when non-nil, receives one structured line per query
+	// (logfmt.EmitQuery).
+	QueryLog io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Executors <= 0 {
+		c.Executors = 2
+	}
+	if c.Threads <= 0 {
+		c.Threads = 8
+	}
+	if c.Admit.QueueCap == 0 {
+		c.Admit.QueueCap = 64
+	}
+	if c.Admit.DegradeWatermark == 0 {
+		c.Admit.DegradeWatermark = c.Admit.QueueCap / 2
+	}
+	if c.Landmarks == 0 {
+		c.Landmarks = 8
+	}
+	return c
+}
+
+// pending is one admitted query waiting for an executor.
+type pending struct {
+	ctx      context.Context
+	q        Query
+	seq      int64
+	budget   float64
+	degraded bool
+	refresh  bool
+	depth    int // queue depth observed at admission, for the log
+	resC     chan Response
+}
+
+// Server is a running daemon instance (transport-agnostic; see
+// Handler for HTTP).
+type Server struct {
+	cfg    Config
+	el     *graph.EdgeList
+	csr    *graph.CSR
+	execs  []*executor
+	sketch *Sketch
+
+	vecMu sync.RWMutex
+	vec   vectors
+
+	admit   *admitter
+	queue   chan *pending
+	metrics Metrics
+	seq     atomic.Int64
+	started time.Time
+
+	logMu   sync.Mutex
+	wg      sync.WaitGroup
+	stopped chan struct{}
+	closed  atomic.Bool
+}
+
+// New resolves cfg.Dataset and starts a server.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	el, err := harness.ResolveDataset(cfg.Dataset, harness.DatasetOptions{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return NewFromEdgeList(el, cfg)
+}
+
+// NewFromEdgeList starts a server over an in-memory edge list: builds
+// the homogenized CSR, loads one engine instance per executor,
+// precomputes the PR/WCC vectors, builds the landmark sketch, and
+// starts the executor goroutines. The returned server is serving.
+func NewFromEdgeList(el *graph.EdgeList, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Admit.validate(); err != nil {
+		return nil, err
+	}
+	csr := graph.BuildCSR(el, graph.BuildOptions{
+		Symmetrize:    !el.Directed,
+		DropSelfLoops: true,
+		Dedup:         true,
+		Sort:          true,
+	})
+	s := &Server{
+		cfg:     cfg,
+		el:      el,
+		csr:     csr,
+		admit:   newAdmitter(cfg.Admit),
+		queue:   make(chan *pending, cfg.Admit.QueueCap),
+		started: time.Now(),
+		stopped: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Executors; i++ {
+		e, err := newExecutor(i, el, csr, cfg.Threads, cfg.Compress)
+		if err != nil {
+			return nil, err
+		}
+		s.execs = append(s.execs, e)
+	}
+	vec, err := s.execs[0].computeVectors()
+	if err != nil {
+		return nil, err
+	}
+	s.vec = vec
+	s.sketch = BuildSketch(csr, cfg.Landmarks)
+	for _, e := range s.execs {
+		s.wg.Add(1)
+		go s.serveLoop(e)
+	}
+	return s, nil
+}
+
+// NumVertices reports the homogenized vertex count (query ID space).
+func (s *Server) NumVertices() int { return s.csr.NumVertices }
+
+// Weighted reports whether SSSP queries are servable.
+func (s *Server) Weighted() bool { return s.el.Weighted }
+
+// Metrics returns the live counters.
+func (s *Server) Metrics() MetricsSnapshot { return s.metrics.Snapshot() }
+
+// QueueDepth returns the current admission queue depth.
+func (s *Server) QueueDepth() int { return s.admit.Depth() }
+
+// MaxQueueDepth returns the depth high-water mark.
+func (s *Server) MaxQueueDepth() int { return s.admit.MaxDepth() }
+
+// Close stops accepting queries, drains the executors, and waits for
+// them to exit. Safe to call twice.
+func (s *Server) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.stopped)
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) vectors() vectors {
+	s.vecMu.RLock()
+	defer s.vecMu.RUnlock()
+	return s.vec
+}
+
+// serveLoop is one executor's goroutine: dequeue, serve, respond.
+// After Close it drains whatever is already queued (those callers
+// were admitted and are waiting) and exits.
+func (s *Server) serveLoop(e *executor) {
+	defer s.wg.Done()
+	for {
+		select {
+		case p := <-s.queue:
+			s.serveOne(e, p)
+		case <-s.stopped:
+			for {
+				select {
+				case p := <-s.queue:
+					s.serveOne(e, p)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) serveOne(e *executor, p *pending) {
+	s.admit.release()
+	var resp Response
+	if p.refresh {
+		vec, err := e.computeVectors()
+		if err != nil {
+			resp = Response{Status: StatusError, Err: err.Error()}
+		} else {
+			s.vecMu.Lock()
+			s.vec = vec
+			s.vecMu.Unlock()
+			resp = Response{Status: StatusOK}
+		}
+	} else {
+		resp = e.run(p.ctx, p.q, p.budget, p.degraded, s.vectors(), s.sketch)
+	}
+	if p.refresh {
+		// Refreshes hold a queue slot but are not queries: keeping them
+		// out of the outcome counters preserves the exact identity
+		// completed+deadline+errors+panics == admitted.
+		p.resC <- resp
+		return
+	}
+	switch resp.Status {
+	case StatusOK:
+		s.metrics.Completed.Add(1)
+		if resp.Degraded {
+			s.metrics.Degraded.Add(1)
+		}
+	case StatusDeadline:
+		s.metrics.DeadlineExceeded.Add(1)
+	case StatusPanic:
+		s.metrics.Panics.Add(1)
+	default:
+		s.metrics.Errors.Add(1)
+	}
+	s.logQuery(p, resp)
+	p.resC <- resp // buffered: never blocks, even if the caller left
+}
+
+func (s *Server) logQuery(p *pending, resp Response) {
+	if s.cfg.QueryLog == nil {
+		return
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	logfmt.EmitQuery(s.cfg.QueryLog, logfmt.QueryRecord{
+		Seq:       p.seq,
+		Op:        string(p.q.Op),
+		Src:       uint32(p.q.Source),
+		Dst:       uint32(p.q.Target),
+		Status:    string(resp.Status),
+		Degraded:  resp.Degraded,
+		ModeledUS: resp.ModeledSec * 1e6,
+		Depth:     p.depth,
+	})
+}
+
+func (s *Server) logShed(seq int64, q Query, status Status, depth int) {
+	if s.cfg.QueryLog == nil {
+		return
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	logfmt.EmitQuery(s.cfg.QueryLog, logfmt.QueryRecord{
+		Seq:    seq,
+		Op:     string(q.Op),
+		Src:    uint32(q.Source),
+		Dst:    uint32(q.Target),
+		Status: string(status),
+		Depth:  depth,
+	})
+}
+
+// Submit runs one query through admission, the queue, and an
+// executor, blocking until the response (or ctx cancellation while
+// queued — the executor will also observe the cancellation through
+// its hook and abandon the kernel at the next frontier).
+func (s *Server) Submit(ctx context.Context, q Query) Response {
+	seq := s.seq.Add(1)
+	if s.closed.Load() {
+		return Response{Op: q.Op, Source: q.Source, Target: q.Target,
+			Status: StatusError, Err: "server closed"}
+	}
+	if err := q.validate(s.csr.NumVertices, s.el.Weighted, s.cfg.FaultInjection); err != nil {
+		s.metrics.Rejected.Add(1)
+		return Response{Op: q.Op, Source: q.Source, Target: q.Target,
+			Status: StatusError, Err: err.Error()}
+	}
+	s.metrics.Offered.Add(1)
+	now := time.Since(s.started).Seconds()
+	depth := s.admit.Depth()
+	dec := s.admit.tryAdmit(now, q.degradable(s.el.Weighted))
+	switch dec {
+	case shedQueueFull:
+		s.metrics.ShedQueueFull.Add(1)
+		s.logShed(seq, q, StatusShed, depth)
+		return Response{Op: q.Op, Source: q.Source, Target: q.Target,
+			Status: StatusShed, Err: "queue full"}
+	case shedThrottled:
+		s.metrics.ShedThrottled.Add(1)
+		s.logShed(seq, q, StatusShed, depth)
+		return Response{Op: q.Op, Source: q.Source, Target: q.Target,
+			Status: StatusShed, Err: "rate limited"}
+	}
+	s.metrics.Admitted.Add(1)
+	budget := q.DeadlineSec
+	if budget <= 0 {
+		budget = s.cfg.DefaultDeadlineSec
+	}
+	p := &pending{
+		ctx:      ctx,
+		q:        q,
+		seq:      seq,
+		budget:   budget,
+		degraded: dec == admitDegraded,
+		depth:    depth,
+		resC:     make(chan Response, 1),
+	}
+	// Never blocks: entries in the channel cannot exceed the admitted
+	// depth, and depth <= QueueCap == cap(queue) by the admitter.
+	s.queue <- p
+	select {
+	case resp := <-p.resC:
+		return resp
+	case <-ctx.Done():
+		// The executor will still process p (and observe ctx through
+		// the hook); the buffered resC absorbs its response.
+		return Response{Op: q.Op, Source: q.Source, Target: q.Target,
+			Status: StatusDeadline, Err: ctx.Err().Error()}
+	}
+}
+
+// Refresh recomputes the PR/WCC vectors on an executor, swapping them
+// in atomically. It shares the bounded queue (a refresh is heavy
+// executor work and must not bypass overload protection) but not the
+// token bucket.
+func (s *Server) Refresh(ctx context.Context) error {
+	if s.closed.Load() {
+		return fmt.Errorf("server closed")
+	}
+	if !s.admit.tryReserve() {
+		return fmt.Errorf("server overloaded: refresh shed (queue full)")
+	}
+	p := &pending{ctx: ctx, refresh: true, seq: s.seq.Add(1), resC: make(chan Response, 1)}
+	s.queue <- p
+	select {
+	case resp := <-p.resC:
+		if resp.Status != StatusOK {
+			return fmt.Errorf("refresh failed: %s", resp.Err)
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

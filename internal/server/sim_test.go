@@ -1,0 +1,188 @@
+package server
+
+import (
+	"testing"
+
+	"github.com/hpcl-repro/epg/internal/harness"
+)
+
+func testBench(t *testing.T) *Bench {
+	t.Helper()
+	el, err := harness.ResolveDataset("kron-9", harness.DatasetOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBench(el, 8, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func simConfig(offeredX float64, capacity float64) SimConfig {
+	return SimConfig{
+		Servers: 2,
+		Admit: AdmitConfig{
+			QueueCap:         8,
+			DegradeWatermark: 4,
+			QPS:              3 * capacity,
+			Burst:            8,
+		},
+		DeadlineSec: 3 / capacity, // a few mean service times
+		OfferedQPS:  offeredX * capacity,
+		NumQueries:  300,
+		Seed:        11,
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	b := testBench(t)
+	capacity := CalibrateCapacity(b, 2, 16, 11)
+	if capacity <= 0 {
+		t.Fatalf("capacity %v", capacity)
+	}
+	cfg := simConfig(2, capacity)
+	st1, err := Simulate(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Simulate(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Fatalf("same seed diverged:\n  %+v\n  %+v", st1, st2)
+	}
+	// A different seed must actually change the run (the stream is
+	// seed-driven, not degenerate).
+	cfg.Seed = 12
+	st3, err := Simulate(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 == st3 {
+		t.Fatal("different seed produced identical stats")
+	}
+}
+
+// TestSimulateOverloadBehavior is the overload-provability check: the
+// exact conservation identity, the queue bound, and each degradation
+// mechanism firing where the load axis says it must.
+func TestSimulateOverloadBehavior(t *testing.T) {
+	b := testBench(t)
+	capacity := CalibrateCapacity(b, 2, 16, 11)
+
+	under, err := Simulate(b, simConfig(0.5, capacity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if under.ShedQueueFull != 0 {
+		t.Errorf("under capacity shed %d queue-full queries", under.ShedQueueFull)
+	}
+	if under.Admitted != under.Offered {
+		t.Errorf("under capacity admitted %d of %d", under.Admitted, under.Offered)
+	}
+
+	over, err := Simulate(b, simConfig(5, capacity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conservation is asserted inside Simulate; re-assert visibly.
+	if err := over.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+	if over.ShedQueueFull == 0 {
+		t.Error("5x overload shed nothing on queue-full")
+	}
+	if over.Degraded == 0 {
+		t.Error("5x overload degraded nothing despite watermark")
+	}
+	if over.MaxDepth > 8 {
+		t.Errorf("queue depth %d exceeded cap 8", over.MaxDepth)
+	}
+	if over.MaxDepth < 8 {
+		t.Errorf("5x overload never filled the queue (max depth %d)", over.MaxDepth)
+	}
+}
+
+// TestSimulateBucketProtectsQueue makes the token bucket the binding
+// constraint: rate at half capacity with a roomy queue. Arrivals above
+// the bucket rate are throttled, so the queue never fills — the
+// complementary regime to queue-full shedding.
+func TestSimulateBucketProtectsQueue(t *testing.T) {
+	b := testBench(t)
+	capacity := CalibrateCapacity(b, 2, 16, 11)
+	st, err := Simulate(b, SimConfig{
+		Servers: 2,
+		Admit: AdmitConfig{
+			QueueCap: 64,
+			QPS:      0.5 * capacity,
+			Burst:    4,
+		},
+		DeadlineSec: 3 / capacity,
+		OfferedQPS:  2 * capacity,
+		NumQueries:  300,
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShedThrottled == 0 {
+		t.Error("offered 2x capacity against a 0.5x bucket never throttled")
+	}
+	if st.ShedQueueFull != 0 {
+		t.Errorf("bucket at half capacity still queue-full shed %d", st.ShedQueueFull)
+	}
+	if st.MaxDepth > 4 {
+		t.Errorf("throttled-to-half-capacity queue reached depth %d", st.MaxDepth)
+	}
+}
+
+func TestSimulateRejectsBadConfig(t *testing.T) {
+	b := testBench(t)
+	if _, err := Simulate(b, SimConfig{Servers: 1, Admit: AdmitConfig{QueueCap: 0},
+		OfferedQPS: 1, NumQueries: 1}); err == nil {
+		t.Error("queue cap 0 accepted")
+	}
+	if _, err := Simulate(b, SimConfig{Servers: 1, Admit: AdmitConfig{QueueCap: 1},
+		OfferedQPS: 0, NumQueries: 1}); err == nil {
+		t.Error("zero offered qps accepted")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(vals, 50); p != 5 {
+		t.Errorf("p50 = %v, want 5", p)
+	}
+	if p := percentile(vals, 99); p != 10 {
+		t.Errorf("p99 = %v, want 10", p)
+	}
+	if p := percentile(nil, 50); p != 0 {
+		t.Errorf("empty percentile = %v, want 0", p)
+	}
+	if p := percentile([]float64{42}, 99); p != 42 {
+		t.Errorf("singleton p99 = %v, want 42", p)
+	}
+}
+
+// TestDeadlineTruncatesService proves the budget actually cuts
+// kernels short: with a tiny budget every traversal is abandoned at
+// its first cancellation point, and the modeled time charged is below
+// the full run's.
+func TestDeadlineTruncatesService(t *testing.T) {
+	b := testBench(t)
+	q := Query{Op: OpBFS, Source: 0, Target: 1}
+	full := b.Run(q, 0, false)
+	if full.Status != StatusOK {
+		t.Fatalf("full run: %+v", full)
+	}
+	tiny := b.Run(q, full.ModeledSec/1e3, false)
+	if tiny.Status != StatusDeadline {
+		t.Fatalf("tiny budget status %q, want deadline", tiny.Status)
+	}
+	if tiny.ModeledSec >= full.ModeledSec {
+		t.Fatalf("truncated run (%v) not cheaper than full run (%v)",
+			tiny.ModeledSec, full.ModeledSec)
+	}
+}

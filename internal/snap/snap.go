@@ -93,7 +93,10 @@ func Read(r io.Reader) (*ReadResult, error) {
 		el.Edges = append(el.Edges, e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("snap: %v", err)
+		// The scanner fails on the line AFTER the last one delivered —
+		// e.g. a line longer than the 1 MiB token limit surfaces here
+		// as bufio.ErrTooLong, bounding memory on hostile input.
+		return nil, fmt.Errorf("snap: line %d: %v", lineNo+1, err)
 	}
 	el.NumVertices = len(orig)
 	if el.NumVertices == 0 {
