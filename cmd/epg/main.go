@@ -151,6 +151,8 @@ func cmdRun(args []string) error {
 	freq := fs.String("freq", "", "modeled DVFS operating point: turbo (default), balanced, or powersave — scales core clocks and CPU dynamic power together")
 	syncSSSP := fs.Bool("sync-sssp", false, "synchronous deterministic SSSP in GAP and GraphBIG")
 	compress := fs.Bool("compress", false, "delta+varint compressed adjacency in GAP and Graph500 BFS/PR (decode-aware cost model)")
+	nodes := fs.Int("nodes", 0, "virtual cluster node count for the modeled distributed-memory mode (0/1 = single box)")
+	partition := fs.String("partition", "", "cluster partition scheme: 1d (blocked vertex ranges) or 2d (greedy vertex-cut homes); needs -nodes > 1")
 	fs.Parse(args)
 
 	s := newSuite(*divisor, *seed)
@@ -173,6 +175,8 @@ func cmdRun(args []string) error {
 		FreqState:     *freq,
 		SyncSSSP:      *syncSSSP,
 		Compress:      *compress,
+		Nodes:         *nodes,
+		Partition:     *partition,
 	}
 	if *enginesFlag != "" {
 		spec.Engines = strings.Split(*enginesFlag, ",")

@@ -108,6 +108,19 @@ const (
 	FreqPowersave = core.FreqPowersave
 )
 
+// Partition schemes for Spec.Partition, effective when Spec.Nodes > 1
+// turns on the modeled distributed-memory cluster: lanes group into
+// virtual nodes, inter-node traffic is charged through the network
+// model (batched per superstep), and outputs stay bit-identical to the
+// single-box run — only modeled durations move. Partition1D (the
+// default) homes contiguous blocked vertex ranges on each node;
+// Partition2D homes each vertex on its lowest greedy-vertex-cut
+// replica shard, the PowerGraph-style edge partition.
+const (
+	Partition1D = core.Partition1D
+	Partition2D = core.Partition2D
+)
+
 // Result is one measured run with its phase breakdown.
 type Result = core.Result
 

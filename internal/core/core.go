@@ -124,6 +124,20 @@ type Spec struct {
 	// schedule-independent (the determinism wall). Engines whose SSSP
 	// is already synchronous (GraphMat, PowerGraph) ignore it.
 	SyncSSSP bool
+	// Nodes is the virtual cluster node count of the modeled
+	// distributed-memory mode: lanes group into nodes, the graph is
+	// partitioned across them (Partition), and inter-node traffic is
+	// charged through Model.NetBytesFactor/NetLatencyCycles with
+	// messages batched per superstep. 0 or 1 keeps the single-box
+	// model — the trace is byte-identical to a spec without the knob.
+	// Outputs never depend on it; only modeled durations move.
+	Nodes int
+	// Partition selects how the cluster partitions the graph when
+	// Nodes > 1: Partition1D (empty default) assigns contiguous
+	// blocked vertex ranges; Partition2D derives per-vertex homes from
+	// the greedy streaming vertex-cut (each vertex lives on its lowest
+	// replica shard), the PowerGraph-style edge partition.
+	Partition string
 }
 
 // Scheduling policy names for Spec.Sched.
@@ -179,6 +193,20 @@ const (
 	FreqPowersave = "powersave"
 )
 
+// Partition scheme names for Spec.Partition.
+const (
+	// Partition1D assigns contiguous blocked vertex ranges to nodes
+	// (default).
+	Partition1D = "1d"
+	// Partition2D homes each vertex on its lowest greedy-vertex-cut
+	// replica shard — the PowerGraph-style edge partition.
+	Partition2D = "2d"
+)
+
+// MaxNodes bounds Spec.Nodes: the 2D partitioner's replica sets are
+// one 64-bit mask (graph.MaxVertexCutShards).
+const MaxNodes = 64
+
 // NumRoots returns the effective root count.
 func (s Spec) NumRoots() int {
 	if s.Roots > 0 {
@@ -227,6 +255,15 @@ func (s Spec) Validate() error {
 	}
 	if s.RemotePenalty != 0 && s.RemotePenalty < 1 {
 		return fmt.Errorf("core: remote penalty must be 0 (model default) or >= 1, got %g", s.RemotePenalty)
+	}
+	if s.Nodes < 0 || s.Nodes > MaxNodes {
+		return fmt.Errorf("core: spec needs 0 <= nodes <= %d, got %d", MaxNodes, s.Nodes)
+	}
+	switch s.Partition {
+	case "", Partition1D, Partition2D:
+	default:
+		return fmt.Errorf("core: unknown partition scheme %q (want %q or %q)",
+			s.Partition, Partition1D, Partition2D)
 	}
 	return nil
 }
@@ -279,6 +316,10 @@ type Result struct {
 	// Algorithm-specific outputs.
 	Iterations    int   // PageRank/CDLP
 	EdgesExamined int64 // traversals (TEPS basis)
+
+	// NetBytes is the modeled inter-node message traffic of the
+	// algorithm phase (zero on single-box specs; see Spec.Nodes).
+	NetBytes float64
 
 	// Power metering (zero unless requested).
 	CPUJoules   float64

@@ -62,6 +62,8 @@ type runOpts struct {
 	adaptive  bool             // frontier-proportional grain policy
 	placement bool             // first-touch page-placement model
 	compress  bool             // delta+varint compressed adjacency (GAP, Graph500)
+	nodes     int              // virtual cluster nodes (0/1 = single box)
+	partition string           // cluster partition scheme ("1d" or "2d"), with nodes > 1
 }
 
 func runKernel(t *testing.T, name string, alg engines.Algorithm, el *graph.EdgeList, root graph.VID, workers int) kernelRun {
@@ -98,6 +100,13 @@ func runKernelOpts(t *testing.T, name string, alg engines.Algorithm, el *graph.E
 	}
 	if opts.placement {
 		m.SetPlacement(true)
+	}
+	if opts.nodes > 1 {
+		var owner []int16
+		if opts.partition == core.Partition2D {
+			owner = clusterOwner(el, opts.nodes)
+		}
+		m.SetCluster(opts.nodes, owner)
 	}
 	inst, err := eng.Load(el, m)
 	if err != nil {

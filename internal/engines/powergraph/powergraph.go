@@ -1,8 +1,6 @@
 package powergraph
 
 import (
-	"math/bits"
-
 	"github.com/hpcl-repro/epg/internal/engines"
 	"github.com/hpcl-repro/epg/internal/graph"
 	"github.com/hpcl-repro/epg/internal/parallel"
@@ -21,8 +19,9 @@ var (
 	costLCCCheck    = simmachine.Cost{Cycles: 18, Bytes: 20}
 )
 
-// maxShards bounds the vertex-cut width (replica masks are one word).
-const maxShards = 64
+// maxShards bounds the vertex-cut width (replica masks are one word);
+// the shared partitioner enforces the same bound.
+const maxShards = graph.MaxVertexCutShards
 
 // Engine is the PowerGraph analogue.
 type Engine struct{}
@@ -102,49 +101,15 @@ func (e *Engine) Load(el *graph.EdgeList, m *simmachine.Machine) (engines.Instan
 	if p < 1 {
 		p = 1
 	}
+	// Partition the deduplicated directed adjacency (the engine's true
+	// edge set) with the shared greedy streaming vertex-cut — the same
+	// machinery the modeled cluster's 2D partitioner uses.
 	inst.shards = make([][]shardEdge, p)
-	inst.replicas = make([]uint64, inst.n)
-	loads := make([]int64, p)
-
-	place := func(src, dst graph.VID, w float32) {
-		cand := inst.replicas[src] | inst.replicas[dst]
-		best := -1
-		var bestLoad int64
-		if cand != 0 {
-			for mask := cand; mask != 0; mask &= mask - 1 {
-				s := bits.TrailingZeros64(mask)
-				if best == -1 || loads[s] < bestLoad {
-					best, bestLoad = s, loads[s]
-				}
-			}
-		} else {
-			for s := 0; s < p; s++ {
-				if best == -1 || loads[s] < bestLoad {
-					best, bestLoad = s, loads[s]
-				}
-			}
-		}
-		inst.shards[best] = append(inst.shards[best], shardEdge{src, dst, w})
-		loads[best]++
-		inst.replicas[src] |= 1 << uint(best)
-		inst.replicas[dst] |= 1 << uint(best)
-	}
-	// Partition the deduplicated directed adjacency (the engine's
-	// true edge set).
-	for v := 0; v < out.NumVertices; v++ {
-		adj := out.Neighbors(graph.VID(v))
-		ws := out.NeighborWeights(graph.VID(v))
-		for i, u := range adj {
-			var w float32
-			if ws != nil {
-				w = ws[i]
-			}
-			place(graph.VID(v), u, w)
-		}
-	}
-	for _, mask := range inst.replicas {
-		inst.totalRep += int64(bits.OnesCount64(mask))
-	}
+	cut := graph.GreedyVertexCut(out, p, func(src, dst graph.VID, w float32, shard int) {
+		inst.shards[shard] = append(inst.shards[shard], shardEdge{src, dst, w})
+	})
+	inst.replicas = cut.Replicas
+	inst.totalRep = cut.TotalRep
 	inst.buildSlots()
 
 	m.FileRead(int64(len(el.Edges))*16, true)

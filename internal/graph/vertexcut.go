@@ -1,0 +1,117 @@
+package graph
+
+import "math/bits"
+
+// MaxVertexCutShards bounds the vertex-cut width: per-vertex replica
+// sets are one 64-bit mask.
+const MaxVertexCutShards = 64
+
+// VertexCutStats summarizes a greedy vertex-cut partition of a CSR's
+// directed adjacency: which shards replicate each vertex, how many
+// edges each shard carries, and the aggregate replica count (the ghost
+// synchronization volume of a PowerGraph-style engine).
+type VertexCutStats struct {
+	Shards   int
+	Replicas []uint64 // per-vertex shard mask
+	Loads    []int64  // edges placed per shard
+	TotalRep int64    // sum of popcounts over Replicas
+}
+
+// GreedyVertexCut partitions the directed adjacency of c into at most
+// MaxVertexCutShards shards with PowerGraph's greedy streaming
+// heuristic: each edge goes to the least-loaded shard already holding
+// one of its endpoints (or the globally least-loaded shard when
+// neither endpoint is placed yet), replicating both endpoints there.
+// Edges stream in canonical order — source vertex ascending, adjacency
+// order within each source — so the cut is a pure function of (c,
+// shards). assign, when non-nil, is called once per edge with the
+// chosen shard; engines use it to materialize per-shard edge lists,
+// while modeling-only callers (the cluster partitioner) pass nil and
+// keep just the stats.
+func GreedyVertexCut(c *CSR, shards int, assign func(src, dst VID, w float32, shard int)) *VertexCutStats {
+	if shards > MaxVertexCutShards {
+		shards = MaxVertexCutShards
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	st := &VertexCutStats{
+		Shards:   shards,
+		Replicas: make([]uint64, c.NumVertices),
+		Loads:    make([]int64, shards),
+	}
+	place := func(src, dst VID, w float32) {
+		cand := st.Replicas[src] | st.Replicas[dst]
+		best := -1
+		var bestLoad int64
+		if cand != 0 {
+			for mask := cand; mask != 0; mask &= mask - 1 {
+				s := bits.TrailingZeros64(mask)
+				if best == -1 || st.Loads[s] < bestLoad {
+					best, bestLoad = s, st.Loads[s]
+				}
+			}
+		} else {
+			for s := 0; s < shards; s++ {
+				if best == -1 || st.Loads[s] < bestLoad {
+					best, bestLoad = s, st.Loads[s]
+				}
+			}
+		}
+		if assign != nil {
+			assign(src, dst, w, best)
+		}
+		st.Loads[best]++
+		st.Replicas[src] |= 1 << uint(best)
+		st.Replicas[dst] |= 1 << uint(best)
+	}
+	for v := 0; v < c.NumVertices; v++ {
+		adj := c.Neighbors(VID(v))
+		ws := c.NeighborWeights(VID(v))
+		for i, u := range adj {
+			var w float32
+			if ws != nil {
+				w = ws[i]
+			}
+			place(VID(v), u, w)
+		}
+	}
+	for _, mask := range st.Replicas {
+		st.TotalRep += int64(bits.OnesCount64(mask))
+	}
+	return st
+}
+
+// ReplicationFactor returns the average number of shards holding each
+// non-isolated vertex — the classic vertex-cut quality metric.
+func (st *VertexCutStats) ReplicationFactor() float64 {
+	present := 0
+	for _, mask := range st.Replicas {
+		if mask != 0 {
+			present++
+		}
+	}
+	if present == 0 {
+		return 0
+	}
+	return float64(st.TotalRep) / float64(present)
+}
+
+// Owners derives a per-vertex home assignment from the cut: each
+// replicated vertex lives on its lowest replica shard (the
+// deterministic master), and isolated vertices fall back to the
+// blocked 1D assignment so every vertex has exactly one home. This is
+// the 2D ("vertex-cut") owner table the modeled cluster partitioner
+// hands to simmachine.SetCluster.
+func (st *VertexCutStats) Owners() []int16 {
+	n := len(st.Replicas)
+	owners := make([]int16, n)
+	for v, mask := range st.Replicas {
+		if mask != 0 {
+			owners[v] = int16(bits.TrailingZeros64(mask))
+		} else {
+			owners[v] = int16(v * st.Shards / n)
+		}
+	}
+	return owners
+}

@@ -89,10 +89,17 @@ func (r *Runner) Run(spec core.Spec, el *graph.EdgeList) ([]core.Result, error) 
 	if len(roots) == 0 {
 		return nil, fmt.Errorf("harness: graph has no roots with degree > 1")
 	}
+	// The 2D cluster partition is computed once on the homogenized
+	// graph and shared by every engine, like the roots: the owner table
+	// describes where data lives, not how an engine processes it.
+	var owner []int16
+	if spec.Nodes > 1 && spec.Partition == core.Partition2D {
+		owner = graph.GreedyVertexCut(csr, spec.Nodes, nil).Owners()
+	}
 
 	var results []core.Result
 	for _, name := range names {
-		rs, err := r.runEngine(spec, el, name, roots)
+		rs, err := r.runEngine(spec, el, name, roots, owner)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s: %w", name, err)
 		}
@@ -101,8 +108,9 @@ func (r *Runner) Run(spec core.Spec, el *graph.EdgeList) ([]core.Result, error) 
 	return results, nil
 }
 
-// runEngine executes all roots of one engine.
-func (r *Runner) runEngine(spec core.Spec, el *graph.EdgeList, name string, roots []graph.VID) ([]core.Result, error) {
+// runEngine executes all roots of one engine. owner is the per-vertex
+// cluster owner table (nil for 1D/blocked or single-box specs).
+func (r *Runner) runEngine(spec core.Spec, el *graph.EdgeList, name string, roots []graph.VID, owner []int16) ([]core.Result, error) {
 	eng, err := r.Registry.New(name)
 	if err != nil {
 		return nil, err
@@ -165,6 +173,9 @@ func (r *Runner) runEngine(spec core.Spec, el *graph.EdgeList, name string, root
 	if spec.Placement == core.PlacementFirstTouch {
 		m.SetPlacement(true)
 	}
+	if spec.Nodes > 1 {
+		m.SetCluster(spec.Nodes, owner)
+	}
 
 	var fileReadSec, constructionSec float64
 	if eng.SeparateConstruction() {
@@ -203,15 +214,20 @@ func (r *Runner) runEngine(spec core.Spec, el *graph.EdgeList, name string, root
 			meter = power.NewRAPL(m, pconsts)
 			meter.Start()
 		}
-		_, t0 := m.Mark()
+		i0, t0 := m.Mark()
 		wall0 := time.Now()
 		out, err := engines.RunAlgorithm(inst, spec.Algorithm, res.Root)
 		if err != nil {
 			return res, err
 		}
 		res.WallSec = time.Since(wall0).Seconds()
-		_, t1 := m.Mark()
+		i1, t1 := m.Mark()
 		res.AlgorithmSec = t1 - t0
+		if m.Tracing() {
+			for _, reg := range m.Trace()[i0:i1] {
+				res.NetBytes += reg.NetBytes
+			}
+		}
 		if meter != nil {
 			rd := meter.End()
 			res.CPUJoules = rd.CPUJoules

@@ -24,6 +24,13 @@ type Topology struct {
 	// Sockets is the socket count; values below 1 (including the
 	// zero Topology) resolve to DefaultTopology.
 	Sockets int
+	// Nodes is the virtual cluster node count (simmachine.SetCluster):
+	// values above 1 group ceil(workers/Nodes) consecutive worker IDs
+	// per node and add a third, outermost victim-preference level —
+	// a thief empties its own node's sockets before crossing to a
+	// remote node. Values below 2 mean a single node (no outer level,
+	// behavior unchanged).
+	Nodes int
 }
 
 // DefaultTopology guesses a socket layout from GOMAXPROCS: one socket
@@ -52,6 +59,19 @@ func (t Topology) resolve(workers int) int {
 		s = workers
 	}
 	return s
+}
+
+// resolveNodes clamps the node count to [1, workers]; the zero value
+// (and any count below 1) means a single node.
+func (t Topology) resolveNodes(workers int) int {
+	nd := t.Nodes
+	if nd < 1 {
+		nd = 1
+	}
+	if nd > workers {
+		nd = workers
+	}
+	return nd
 }
 
 // workersPerSocket returns the size of each consecutive worker block
@@ -83,6 +103,10 @@ func (t Topology) socketOf(worker, workers int) int {
 // claimed and the idle worker may exit.
 func forStealTopo(p *Pool, workers, nchunks int, topo Topology, runChunk func(c, worker int)) {
 	sockets := topo.resolve(workers)
+	if nodes := topo.resolveNodes(workers); nodes > 1 {
+		forStealNodes(p, workers, nchunks, sockets, nodes, runChunk)
+		return
+	}
 	if sockets <= 1 {
 		forSteal(p, workers, nchunks, runChunk)
 		return
@@ -163,6 +187,79 @@ func forStealTopo(p *Pool, workers, nchunks int, topo Topology, runChunk func(c,
 				}
 			}
 			if !found {
+				return
+			}
+		}
+	})
+}
+
+// forStealNodes executes the chunks under three-level (node- and
+// socket-aware) work stealing: worker blocks group into sockets and,
+// one level up, into cluster nodes. An idle worker works outward —
+// same node and socket, then same node other sockets, then remote
+// nodes — with randomized probes followed by a deterministic sweep at
+// each level, forStealTopo's discipline with one more ring.
+//
+// Termination mirrors forStealTopo: nothing is pushed after the
+// prefill, so once the three deterministic sweeps (which together
+// cover every other deque) all come up empty in one pass, every chunk
+// has been claimed and the idle worker may exit.
+func forStealNodes(p *Pool, workers, nchunks, sockets, nodes int, runChunk func(c, worker int)) {
+	perSock := workersPerSocket(workers, sockets)
+	perNode := (workers + nodes - 1) / nodes
+	deques := prefillDeques(workers, nchunks)
+	seed := StealSeed(nchunks, workers)
+	p.Run(workers, func(worker int) {
+		rng := xrand.New(seed ^ xrand.Mix64(uint64(worker)+1))
+		own := deques[worker]
+		mySock, myNode := worker/perSock, worker/perNode
+		// level is the interconnect distance to victim v: 0 shares the
+		// thief's socket, 1 its node, 2 is across the network.
+		level := func(v int) int {
+			switch {
+			case v/perNode != myNode:
+				return 2
+			case v/perSock != mySock:
+				return 1
+			}
+			return 0
+		}
+		steal := func(lvl int, probe bool) bool {
+			if probe {
+				for tries := 0; tries < workers; tries++ {
+					v := int(rng.Uint64() % uint64(workers))
+					if v == worker || level(v) != lvl {
+						continue
+					}
+					if c, ok := deques[v].Steal(); ok {
+						runChunk(int(c), worker)
+						return true
+					}
+				}
+				return false
+			}
+			for off := 1; off < workers; off++ {
+				v := (worker + off) % workers
+				if level(v) != lvl {
+					continue
+				}
+				if c, ok := deques[v].Steal(); ok {
+					runChunk(int(c), worker)
+					return true
+				}
+			}
+			return false
+		}
+		for {
+			if c, ok := own.PopBottom(); ok {
+				runChunk(int(c), worker)
+				continue
+			}
+			stole := false
+			for lvl := 0; lvl < 3 && !stole; lvl++ {
+				stole = steal(lvl, true) || steal(lvl, false)
+			}
+			if !stole {
 				return
 			}
 		}

@@ -35,6 +35,8 @@ type SchedStudyRow struct {
 	Compress   string // adjacency representation: "off" (raw CSR) or "on" (delta+varint)
 	Threads    int
 	Sockets    int
+	Nodes      int    // virtual cluster node count (1 = single box)
+	Partition  string // cluster partition scheme ("none", "1d", "2d")
 	Workers    int
 	ModeledSec float64
 	// Aggregate charged work over the whole run. Penalty charges
@@ -45,6 +47,13 @@ type SchedStudyRow struct {
 	Cycles  float64
 	Bytes   float64
 	Atomics float64
+	// NetBytes is the modeled inter-node message traffic of the run
+	// (zero on single-box rows). It is NOT part of Bytes: the byte
+	// column keeps its historical meaning (DRAM traffic including the
+	// network surcharge), while this column isolates what actually
+	// crossed the modeled wire — the quantity the cluster rows rank
+	// partitions by.
+	NetBytes float64
 	// Modeled energy over the run: the power model integrated over the
 	// same region trace that produced ModeledSec (power.MeasureTrace).
 	// Joules are pure functions of the trace and the (frequency-scaled)
@@ -61,7 +70,7 @@ type SchedStudyRow struct {
 }
 
 // SchedStudyCSVHeader is the column layout of WriteSchedStudyCSV.
-const SchedStudyCSVHeader = "kernel,sched,grain,placement,freq,compress,threads,sockets,workers,modeled_s,cycles,bytes,atomics,cpu_joules,ram_joules,total_joules,edp_js,wall_s"
+const SchedStudyCSVHeader = "kernel,sched,grain,placement,freq,compress,threads,sockets,nodes,partition,workers,modeled_s,cycles,bytes,net_bytes,atomics,cpu_joules,ram_joules,total_joules,edp_js,wall_s"
 
 // csvFloat renders v at the shortest precision that round-trips
 // float64 exactly: readable for humans, bit-faithful for the CI
@@ -77,9 +86,10 @@ func WriteSchedStudyCSV(w io.Writer, rows []SchedStudyRow) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, SchedStudyCSVHeader)
 	for _, r := range rows {
-		fmt.Fprintf(bw, "%s,%s,%s,%s,%s,%s,%d,%d,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
-			r.Kernel, r.Sched, r.Grain, r.Placement, r.Freq, r.Compress, r.Threads, r.Sockets, r.Workers,
-			csvFloat(r.ModeledSec), csvFloat(r.Cycles), csvFloat(r.Bytes), csvFloat(r.Atomics),
+		fmt.Fprintf(bw, "%s,%s,%s,%s,%s,%s,%d,%d,%d,%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
+			r.Kernel, r.Sched, r.Grain, r.Placement, r.Freq, r.Compress, r.Threads, r.Sockets,
+			r.Nodes, r.Partition, r.Workers,
+			csvFloat(r.ModeledSec), csvFloat(r.Cycles), csvFloat(r.Bytes), csvFloat(r.NetBytes), csvFloat(r.Atomics),
 			csvFloat(r.CPUJoules), csvFloat(r.RAMJoules), csvFloat(r.TotalJoules), csvFloat(r.EDPJouleSec),
 			csvFloat(r.WallSec))
 	}
@@ -94,10 +104,11 @@ func SchedStudyTable(w io.Writer, rows []SchedStudyRow) {
 	for _, r := range rows {
 		out = append(out, []string{
 			r.Kernel, r.Sched, r.Grain, r.Placement, r.Freq, r.Compress, fmt.Sprint(r.Threads), fmt.Sprint(r.Sockets),
+			fmt.Sprint(r.Nodes), r.Partition,
 			FormatSeconds(r.ModeledSec), fmt.Sprintf("%.4g", r.TotalJoules), fmt.Sprintf("%.4g", r.EDPJouleSec),
 			FormatSeconds(r.WallSec),
 		})
 	}
-	Table(w, "Scheduling study: modeled seconds, joules, and EDP by policy, grain, placement, freq, compress, threads, and sockets",
-		[]string{"kernel", "sched", "grain", "placement", "freq", "compress", "threads", "sockets", "modeled_s", "joules", "edp_js", "wall_s"}, out)
+	Table(w, "Scheduling study: modeled seconds, joules, and EDP by policy, grain, placement, freq, compress, threads, sockets, and nodes",
+		[]string{"kernel", "sched", "grain", "placement", "freq", "compress", "threads", "sockets", "nodes", "partition", "modeled_s", "joules", "edp_js", "wall_s"}, out)
 }

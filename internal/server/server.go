@@ -79,14 +79,19 @@ type pending struct {
 // Server is a running daemon instance (transport-agnostic; see
 // Handler for HTTP).
 type Server struct {
-	cfg    Config
-	el     *graph.EdgeList
-	csr    *graph.CSR
-	execs  []*executor
-	sketch *Sketch
+	cfg   Config
+	el    *graph.EdgeList
+	csr   *graph.CSR
+	execs []*executor
 
-	vecMu sync.RWMutex
-	vec   vectors
+	// vecMu guards the precomputed state a refresh swaps: the PR/WCC
+	// vectors AND the degradation sketch (plus its generation counter —
+	// monotone, bumped by every successful refresh, so tests can prove
+	// degraded answers come from the rebuilt sketch, not a stale one).
+	vecMu     sync.RWMutex
+	vec       vectors
+	sketch    *Sketch
+	sketchGen uint64
 
 	admit   *admitter
 	queue   chan *pending
@@ -147,6 +152,7 @@ func NewFromEdgeList(el *graph.EdgeList, cfg Config) (*Server, error) {
 	}
 	s.vec = vec
 	s.sketch = BuildSketch(csr, cfg.Landmarks)
+	s.sketchGen = 1
 	for _, e := range s.execs {
 		s.wg.Add(1)
 		go s.serveLoop(e)
@@ -184,6 +190,23 @@ func (s *Server) vectors() vectors {
 	return s.vec
 }
 
+// snapshot returns the precomputed state one query serves from — the
+// vectors and the sketch taken under one lock, so a query never mixes
+// pre-refresh vectors with a post-refresh sketch or vice versa.
+func (s *Server) snapshot() (vectors, *Sketch) {
+	s.vecMu.RLock()
+	defer s.vecMu.RUnlock()
+	return s.vec, s.sketch
+}
+
+// SketchGeneration returns the degradation sketch's generation:
+// 1 after construction, +1 per successful refresh.
+func (s *Server) SketchGeneration() uint64 {
+	s.vecMu.RLock()
+	defer s.vecMu.RUnlock()
+	return s.sketchGen
+}
+
 // serveLoop is one executor's goroutine: dequeue, serve, respond.
 // After Close it drains whatever is already queued (those callers
 // were admitted and are waiting) and exits.
@@ -214,13 +237,21 @@ func (s *Server) serveOne(e *executor, p *pending) {
 		if err != nil {
 			resp = Response{Status: StatusError, Err: err.Error()}
 		} else {
+			// The degradation sketch is precomputation too: a refresh
+			// that swapped the vectors but kept the old sketch would
+			// keep serving degraded answers from stale state. Rebuild
+			// it and swap everything in one critical section.
+			sketch := BuildSketch(s.csr, s.cfg.Landmarks)
 			s.vecMu.Lock()
 			s.vec = vec
+			s.sketch = sketch
+			s.sketchGen++
 			s.vecMu.Unlock()
 			resp = Response{Status: StatusOK}
 		}
 	} else {
-		resp = e.run(p.ctx, p.q, p.budget, p.degraded, s.vectors(), s.sketch)
+		vec, sketch := s.snapshot()
+		resp = e.run(p.ctx, p.q, p.budget, p.degraded, vec, sketch)
 	}
 	if p.refresh {
 		// Refreshes hold a queue slot but are not queries: keeping them

@@ -63,6 +63,7 @@ type StudyRow struct {
 	Servers    int
 	QueueCap   int
 	Watermark  int
+	Compress   string  // adjacency representation: "off" (raw CSR) or "on" (delta+varint)
 	OfferedX   float64 // offered load as a multiple of capacity
 	OfferedQPS float64
 	BucketQPS  float64
@@ -70,56 +71,68 @@ type StudyRow struct {
 	Stats      SimStats
 }
 
-// GenerateStudy calibrates capacity on the bench, then sweeps the
-// offered-load multipliers through Simulate.
+// GenerateStudy sweeps the compress axis: for each adjacency
+// representation it calibrates capacity on its own bench (the decode
+// cost moves service times, so capacity, bucket rate, and deadline all
+// recalibrate with it) and then sweeps the offered-load multipliers
+// through Simulate. The compress=on half exercises the decode-aware
+// cost model under load — previously the serving figure silently
+// ignored the knob.
 func GenerateStudy(el *graph.EdgeList, cfg StudyConfig) ([]StudyRow, error) {
-	b, err := NewBench(el, cfg.Threads, cfg.Landmarks, false)
-	if err != nil {
-		return nil, err
-	}
-	capacity := CalibrateCapacity(b, cfg.Servers, cfg.Probes, cfg.Seed)
-	if capacity <= 0 {
-		return nil, fmt.Errorf("server: capacity calibration produced %v", capacity)
-	}
-	meanService := float64(cfg.Servers) / capacity
-	deadline := cfg.DeadlineX * meanService
-
 	var rows []StudyRow
-	for _, mult := range cfg.Multipliers {
-		sim := SimConfig{
-			Servers: cfg.Servers,
-			Admit: AdmitConfig{
-				QueueCap:         cfg.QueueCap,
-				DegradeWatermark: cfg.Watermark,
-				QPS:              cfg.BucketX * capacity,
-				Burst:            cfg.Burst,
-			},
-			DeadlineSec: deadline,
-			OfferedQPS:  mult * capacity,
-			NumQueries:  cfg.NumQueries,
-			Seed:        cfg.Seed,
-		}
-		st, err := Simulate(b, sim)
+	for _, compress := range []bool{false, true} {
+		b, err := NewBench(el, cfg.Threads, cfg.Landmarks, compress)
 		if err != nil {
-			return nil, fmt.Errorf("server: study point x%v: %w", mult, err)
+			return nil, err
 		}
-		rows = append(rows, StudyRow{
-			Dataset:    cfg.Dataset,
-			Servers:    cfg.Servers,
-			QueueCap:   cfg.QueueCap,
-			Watermark:  cfg.Watermark,
-			OfferedX:   mult,
-			OfferedQPS: mult * capacity,
-			BucketQPS:  cfg.BucketX * capacity,
-			DeadlineUS: deadline * 1e6,
-			Stats:      st,
-		})
+		capacity := CalibrateCapacity(b, cfg.Servers, cfg.Probes, cfg.Seed)
+		if capacity <= 0 {
+			return nil, fmt.Errorf("server: capacity calibration produced %v", capacity)
+		}
+		meanService := float64(cfg.Servers) / capacity
+		deadline := cfg.DeadlineX * meanService
+		label := "off"
+		if compress {
+			label = "on"
+		}
+
+		for _, mult := range cfg.Multipliers {
+			sim := SimConfig{
+				Servers: cfg.Servers,
+				Admit: AdmitConfig{
+					QueueCap:         cfg.QueueCap,
+					DegradeWatermark: cfg.Watermark,
+					QPS:              cfg.BucketX * capacity,
+					Burst:            cfg.Burst,
+				},
+				DeadlineSec: deadline,
+				OfferedQPS:  mult * capacity,
+				NumQueries:  cfg.NumQueries,
+				Seed:        cfg.Seed,
+			}
+			st, err := Simulate(b, sim)
+			if err != nil {
+				return nil, fmt.Errorf("server: study point compress=%s x%v: %w", label, mult, err)
+			}
+			rows = append(rows, StudyRow{
+				Dataset:    cfg.Dataset,
+				Servers:    cfg.Servers,
+				QueueCap:   cfg.QueueCap,
+				Watermark:  cfg.Watermark,
+				Compress:   label,
+				OfferedX:   mult,
+				OfferedQPS: mult * capacity,
+				BucketQPS:  cfg.BucketX * capacity,
+				DeadlineUS: deadline * 1e6,
+				Stats:      st,
+			})
+		}
 	}
 	return rows, nil
 }
 
 // StudyCSVHeader names the serving-study columns.
-const StudyCSVHeader = "dataset,servers,queue_cap,watermark,offered_x,offered_qps,bucket_qps,deadline_us," +
+const StudyCSVHeader = "dataset,servers,queue_cap,watermark,compress,offered_x,offered_qps,bucket_qps,deadline_us," +
 	"queries,admitted,shed_queue_full,shed_throttled,completed,degraded,deadline_exceeded,errors," +
 	"max_depth,p50_us,p99_us,mean_us"
 
@@ -133,8 +146,8 @@ func WriteStudyCSV(w io.Writer, rows []StudyRow) error {
 	fmt.Fprintln(bw, StudyCSVHeader)
 	for _, r := range rows {
 		st := r.Stats
-		fmt.Fprintf(bw, "%s,%d,%d,%d,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%s,%s\n",
-			r.Dataset, r.Servers, r.QueueCap, r.Watermark,
+		fmt.Fprintf(bw, "%s,%d,%d,%d,%s,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%s,%s\n",
+			r.Dataset, r.Servers, r.QueueCap, r.Watermark, r.Compress,
 			g(r.OfferedX), g(r.OfferedQPS), g(r.BucketQPS), g(r.DeadlineUS),
 			st.Offered, st.Admitted, st.ShedQueueFull, st.ShedThrottled,
 			st.Completed, st.Degraded, st.DeadlineExceeded, st.Errors,

@@ -68,6 +68,7 @@ type Region struct {
 	Cost        Cost    // aggregate charged work
 	MemBound    bool    // true if duration was set by the bandwidth roofline
 	IO          bool    // true for file I/O regions
+	NetBytes    float64 // inter-node message bytes (cluster model, network.go)
 }
 
 // W accumulates the work of one chunk. It is handed to region bodies
@@ -139,6 +140,21 @@ type Machine struct {
 	// multiplier under every policy. See placement.go.
 	placeOn   bool
 	pageOwner []int16
+
+	// Modeled cluster (Spec.Nodes/Spec.Partition): when nodes > 1,
+	// lanes are grouped into virtual cluster nodes, chunks whose index
+	// ranges are owned by a different node than the executing lane's
+	// are charged inter-node message traffic, and each region pays a
+	// batched flush latency per communicating node pair. nodeOwner is
+	// the per-item owner table of the region index space (the 2D
+	// vertex-cut partition); nil means blocked 1D ownership. See
+	// network.go.
+	nodes     int
+	nodeOwner []int16
+	// Scratch carried from chargeNetwork to commitLanes within one
+	// commitRegion call (consumed and zeroed there).
+	pendingNetSeconds float64
+	pendingNetBytes   float64
 }
 
 // New returns a machine with the given model and virtual thread count.
@@ -156,7 +172,7 @@ func New(model Model, threads int) *Machine {
 	}
 	return &Machine{
 		model: model, threads: threads, workers: w,
-		pool: parallel.Default(), tracing: true, sockets: 1,
+		pool: parallel.Default(), tracing: true, sockets: 1, nodes: 1,
 	}
 }
 
@@ -233,11 +249,14 @@ func (m *Machine) remoteBytesFactor() float64 {
 // realTopo returns the socket topology handed to the real executor:
 // the explicit Spec.Sockets count when set, otherwise the zero
 // Topology (parallel resolves it to its GOMAXPROCS-derived default).
+// The virtual node count rides along so node-aware stealing prefers
+// same-node victims; nothing observable depends on it.
 func (m *Machine) realTopo() parallel.Topology {
+	topo := parallel.Topology{Nodes: m.nodes}
 	if m.socketsSet {
-		return parallel.Topology{Sockets: m.sockets}
+		topo.Sockets = m.sockets
 	}
-	return parallel.Topology{}
+	return topo
 }
 
 // effSched resolves a region's policy against the machine override.
@@ -444,6 +463,10 @@ func (m *Machine) ForEachThread(body func(tid int, w *W)) {
 func (m *Machine) commitRegion(costs []Cost, sched Sched, n, grain int) {
 	t := m.threads
 	lanes := make([]Cost, t)
+	// The placement and network models both need to know which lane ran
+	// each chunk; Static's residue-class assignment is implicit, the
+	// other policies record it.
+	needExec := m.placementActive() || m.clusterActive()
 	var execLane []int
 	switch sched {
 	case Static:
@@ -460,7 +483,7 @@ func (m *Machine) commitRegion(costs []Cost, sched Sched, n, grain int) {
 		// count — the serialization the scheduling study quantifies
 		// (work stealing pays this only per successful steal).
 		loads := make([]float64, t)
-		if m.placementActive() {
+		if needExec {
 			execLane = make([]int, len(costs))
 		}
 		for i, c := range costs {
@@ -494,10 +517,13 @@ func (m *Machine) commitRegion(costs []Cost, sched Sched, n, grain int) {
 			remoteBytes = 1
 		}
 		lanes, execLane = stealLanesTopo(costs, t, m.sockets, remoteBytes,
-			m.model.RemoteStealCycles, sched == NUMA, m.placementActive(), &m.model)
+			m.model.RemoteStealCycles, sched == NUMA, needExec, &m.model)
 	}
 	if m.placementActive() {
 		m.chargePlacement(costs, lanes, execLane, n, grain)
+	}
+	if m.clusterActive() {
+		m.chargeNetwork(costs, lanes, execLane, n, grain)
 	}
 	m.commitLanes(lanes)
 }
@@ -537,6 +563,11 @@ func (m *Machine) commitLanes(lanes []Cost) {
 	t := m.threads
 	model := &m.model
 
+	// Consume the cluster scratch unconditionally so a stale value can
+	// never leak into a later region.
+	netSeconds, netBytes := m.pendingNetSeconds, m.pendingNetBytes
+	m.pendingNetSeconds, m.pendingNetBytes = 0, 0
+
 	active := 0
 	var total Cost
 	for _, c := range lanes {
@@ -568,6 +599,10 @@ func (m *Machine) commitLanes(lanes []Cost) {
 		seconds, memBound = tMem, true
 	}
 	seconds += model.barrier(t)
+	// The per-superstep network flush serializes after the barrier:
+	// every node's batched messages must land before the next region
+	// observes their effects.
+	seconds += netSeconds
 
 	util := 1.0
 	if seconds > 0 {
@@ -579,6 +614,7 @@ func (m *Machine) commitLanes(lanes []Cost) {
 	m.record(Region{
 		Seconds: seconds, Lanes: t, ActiveLanes: active,
 		Utilization: util, Cost: total, MemBound: memBound,
+		NetBytes: netBytes,
 	})
 }
 

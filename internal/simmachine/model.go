@@ -58,6 +58,21 @@ type Model struct {
 	// bandwidth and locality terms. Denominated in cycles, so DVFS
 	// states stretch it automatically with the clock.
 	DecodeCyclesPerByte float64
+
+	// Modeled cluster interconnect (network.go), charged only when the
+	// machine is given more than one virtual node (Spec.Nodes).
+	// NetBytesFactor multiplies the share of a chunk's DRAM bytes whose
+	// items are owned by a different node than the executing lane's —
+	// the superstep's inter-node messages traverse a network an order
+	// of magnitude slower than local DRAM, modeled (like the QPI-era
+	// RemoteBytesFactor, one level up the hierarchy) as extra effective
+	// bytes through the bandwidth roofline. NetLatencyCycles is the
+	// per-superstep flush latency of one batched message stream between
+	// an ordered node pair: messages within a superstep coalesce into
+	// one batch per communicating pair, so the latency term scales with
+	// the pair count, never with the message count.
+	NetBytesFactor   float64
+	NetLatencyCycles float64
 }
 
 // MaxThreads returns the machine's hardware thread count.
@@ -100,6 +115,12 @@ func Haswell72() Model {
 		// wins once a kernel is bandwidth-bound, visible enough that
 		// compute-bound regions pay for it.
 		DecodeCyclesPerByte: 2,
+		// Cluster-era interconnect (FDR InfiniBand / 40GbE against
+		// ~60 GB/s local DRAM): remote data streams roughly 10x
+		// slower than local, and one batched message flush costs a
+		// few microseconds of round-trip — ~10k cycles at turbo.
+		NetBytesFactor:   10,
+		NetLatencyCycles: 10000,
 	}
 }
 

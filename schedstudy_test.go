@@ -76,19 +76,28 @@ var schedStudyConfigs = []struct {
 	placement string
 	freq      string
 	compress  bool
+	nodes     int
+	partition string
 }{
-	{"fixed", "none", "turbo", false},
-	{"adaptive", "none", "turbo", false},
-	{"adaptive", "firsttouch", "turbo", false},
-	{"adaptive", "firsttouch", "balanced", false},
-	{"adaptive", "firsttouch", "powersave", false},
+	{"fixed", "none", "turbo", false, 1, ""},
+	{"adaptive", "none", "turbo", false, 1, ""},
+	{"adaptive", "firsttouch", "turbo", false, 1, ""},
+	{"adaptive", "firsttouch", "balanced", false, 1, ""},
+	{"adaptive", "firsttouch", "powersave", false, 1, ""},
 	// Compressed adjacency: the sockets=1 baseline (fixed grain, no
 	// placement) isolates the pure decode-cycles-for-bytes trade, and
 	// the headline locality configuration shows it composed with
 	// adaptive grain + first-touch placement, where the smaller
 	// resident footprint also shrinks the remotely-placed byte stream.
-	{"fixed", "none", "turbo", true},
-	{"adaptive", "firsttouch", "turbo", true},
+	{"fixed", "none", "turbo", true, 1, ""},
+	{"adaptive", "firsttouch", "turbo", true, 1, ""},
+	// Modeled cluster: the fixed-grain baseline sharded across virtual
+	// nodes, 1D blocked at 2 nodes and the greedy-vertex-cut 2D homes
+	// at 4 — the rows carry the net_bytes column, and their presence in
+	// the CI artifact makes the drift gate sensitive to every network
+	// cost term (NetLatencyCycles, NetBytesFactor, the partitioners).
+	{"fixed", "none", "turbo", false, 2, "1d"},
+	{"fixed", "none", "turbo", false, 4, "2d"},
 }
 
 var schedStudyPolicies = []struct {
@@ -131,6 +140,24 @@ func generateSchedStudyRows(t *testing.T, el *graph.EdgeList, modeledOnly bool) 
 	roots := tuneRootsFor(el, 1)
 	root := roots[0]
 
+	// The 2D cluster owner table is a pure function of the homogenized
+	// graph and the node count — computed once per count and shared by
+	// every cell, the way the harness shares it across engines.
+	owners := map[int][]int16{}
+	ownersFor := func(nodes int) []int16 {
+		if tbl, ok := owners[nodes]; ok {
+			return tbl
+		}
+		csr := graph.BuildCSR(el, graph.BuildOptions{
+			Symmetrize:    !el.Directed,
+			DropSelfLoops: true,
+			Dedup:         true,
+		})
+		tbl := graph.GreedyVertexCut(csr, nodes, nil).Owners()
+		owners[nodes] = tbl
+		return tbl
+	}
+
 	var rows []report.SchedStudyRow
 	for _, kernel := range []string{"BFS", "PR"} {
 		for _, cfg := range schedStudyConfigs {
@@ -152,6 +179,13 @@ func generateSchedStudyRows(t *testing.T, el *graph.EdgeList, modeledOnly bool) 
 						}
 						if cfg.placement == "firsttouch" {
 							m.SetPlacement(true)
+						}
+						if cfg.nodes > 1 {
+							var owner []int16
+							if cfg.partition == "2d" {
+								owner = ownersFor(cfg.nodes)
+							}
+							m.SetCluster(cfg.nodes, owner)
 						}
 						eng := gap.New()
 						// Before Load: the compressed structure is built
@@ -193,12 +227,18 @@ func generateSchedStudyRows(t *testing.T, el *graph.EdgeList, modeledOnly bool) 
 						// the power model over the same trace, so the
 						// gate additionally pins every power constant.
 						var total simmachine.Cost
+						var netBytes float64
 						for _, reg := range m.Trace() {
 							total.Add(reg.Cost)
+							netBytes += reg.NetBytes
 						}
 						compress := "off"
 						if cfg.compress {
 							compress = "on"
+						}
+						nodes, partition := cfg.nodes, cfg.partition
+						if nodes < 2 {
+							nodes, partition = 1, "none"
 						}
 						rows = append(rows, report.SchedStudyRow{
 							Kernel:      kernel,
@@ -209,10 +249,13 @@ func generateSchedStudyRows(t *testing.T, el *graph.EdgeList, modeledOnly bool) 
 							Compress:    compress,
 							Threads:     threads,
 							Sockets:     sockets,
+							Nodes:       nodes,
+							Partition:   partition,
 							Workers:     workers,
 							ModeledSec:  m.Elapsed(),
 							Cycles:      total.Cycles,
 							Bytes:       total.Bytes,
+							NetBytes:    netBytes,
 							Atomics:     total.Atomics,
 							CPUJoules:   rd.CPUJoules,
 							RAMJoules:   rd.RAMJoules,
