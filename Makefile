@@ -16,7 +16,10 @@
 # the epgd serving study (FIG_serving_study.csv, the admission/
 # degradation load sweep); `make servefig-check` is the serving drift
 # gate that fails when the regenerated study drifts from the committed
-# artifact.
+# artifact; `make streamfig` rewrites the streaming-mutation study
+# (FIG_stream_study.csv, incremental PR/WCC maintenance vs. full
+# recompute across batch size x delete fraction); `make
+# streamfig-check` is the streaming drift gate over that artifact.
 
 GO ?= go
 FUZZTIME ?= 20s
@@ -27,7 +30,7 @@ FUZZTIME ?= 20s
 # pinned to kron-12 in code, independent of this knob.)
 SCHEDFIG_SCALE ?= 17
 
-.PHONY: all build test race race-full fuzz bench baseline benchfig benchfig-ci benchfig-check compress-ratio servefig servefig-check serve-soak speedup-floor big-conformance numa-sweep vet fmt-check
+.PHONY: all build test race race-full fuzz bench baseline benchfig benchfig-ci benchfig-check compress-ratio servefig servefig-check streamfig streamfig-check serve-soak speedup-floor big-conformance numa-sweep vet fmt-check
 
 all: test race
 
@@ -50,6 +53,7 @@ fuzz:
 	$(GO) test -fuzz '^FuzzVarintRoundTrip$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/graph/
 	$(GO) test -fuzz '^FuzzCompressedCSREquivalence$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/graph/
 	$(GO) test -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/snap/
+	$(GO) test -fuzz '^FuzzMutationEquivalence$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/graph/
 
 # Smoke step: print raw vs delta+varint adjacency bytes on kron-16 and
 # fail below the 2x floor.
@@ -76,6 +80,12 @@ servefig:
 
 servefig-check:
 	EPG_SERVEFIG_CHECK=1 $(GO) test -run TestServeStudyDrift -v .
+
+streamfig:
+	EPG_WRITE_STREAMFIG=1 $(GO) test -run 'TestWriteStreamStudy$$' -v -timeout 30m .
+
+streamfig-check:
+	EPG_STREAMFIG_CHECK=1 $(GO) test -run TestStreamStudyDrift -v -timeout 30m .
 
 # Race-enabled soak over the live daemon: concurrent clients x panic
 # injection x deadlines x cancellation against the bounded queue.

@@ -66,7 +66,7 @@ Run 'epg <subcommand> -h' for flags.
 }
 
 func newSuite(divisor int, seed uint64) *epg.Suite {
-	return epg.NewSuite(epg.Options{RealWorldDivisor: divisor, Seed: seed})
+	return epg.NewSuite(epg.Options{RealWorldDivisor: divisor, Seed: seed, Warnings: os.Stderr})
 }
 
 func cmdGen(args []string) error {
@@ -153,6 +153,7 @@ func cmdRun(args []string) error {
 	compress := fs.Bool("compress", false, "delta+varint compressed adjacency in GAP and Graph500 BFS/PR (decode-aware cost model)")
 	nodes := fs.Int("nodes", 0, "virtual cluster node count for the modeled distributed-memory mode (0/1 = single box)")
 	partition := fs.String("partition", "", "cluster partition scheme: 1d (blocked vertex ranges) or 2d (greedy vertex-cut homes); needs -nodes > 1")
+	mutations := fs.String("mutations", "", "streaming phase 'BxS@F': B batches of S edge mutations with delete fraction F (e.g. 4x64@0.25); PR and WCC only")
 	fs.Parse(args)
 
 	s := newSuite(*divisor, *seed)
@@ -181,6 +182,13 @@ func cmdRun(args []string) error {
 	if *enginesFlag != "" {
 		spec.Engines = strings.Split(*enginesFlag, ",")
 	}
+	if *mutations != "" {
+		ms, err := parseMutations(*mutations, *seed)
+		if err != nil {
+			return err
+		}
+		spec.Mutations = ms
+	}
 	results, err := s.Run(spec, g)
 	if err != nil {
 		return err
@@ -198,6 +206,34 @@ func cmdRun(args []string) error {
 	}
 	renderFor(spec.Algorithm, s, results, *measurePower)
 	return nil
+}
+
+// parseMutations parses the -mutations syntax "BxS@F" into a schedule
+// seeded from the run seed.
+func parseMutations(s string, seed uint64) (*epg.MutationSchedule, error) {
+	bad := func() error {
+		return fmt.Errorf("run: bad -mutations %q (want BxS@F, e.g. 4x64@0.25)", s)
+	}
+	body, fracStr, hasFrac := strings.Cut(s, "@")
+	bStr, sizeStr, ok := strings.Cut(body, "x")
+	if !ok {
+		return nil, bad()
+	}
+	batches, err := strconv.Atoi(bStr)
+	if err != nil {
+		return nil, bad()
+	}
+	size, err := strconv.Atoi(sizeStr)
+	if err != nil {
+		return nil, bad()
+	}
+	frac := 0.0
+	if hasFrac {
+		if frac, err = strconv.ParseFloat(fracStr, 64); err != nil {
+			return nil, bad()
+		}
+	}
+	return &epg.MutationSchedule{Batches: batches, BatchSize: size, DeleteFrac: frac, Seed: seed}, nil
 }
 
 func renderFor(alg epg.Algorithm, s *epg.Suite, results []epg.Result, withPower bool) {

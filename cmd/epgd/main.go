@@ -1,14 +1,19 @@
 // Command epgd is the resident-graph query daemon: it loads one
 // dataset, precomputes the PageRank and WCC vectors, and serves point
-// queries over HTTP with admission control, modeled deadlines, and
-// graceful overload degradation (see internal/server).
+// queries over HTTP with admission control, modeled deadlines,
+// graceful overload degradation, and live streaming mutations with
+// incremental vector maintenance (see internal/server).
 //
 //	epgd -dataset kron-14 -addr :8090 -queue-cap 64 -qps 0
 //
-//	GET  /query?op=bfs&src=3&dst=9[&deadline_ms=50]
-//	GET  /metrics
-//	GET  /healthz
-//	POST /refresh
+//	GET  /v1/query?op=bfs&src=3&dst=9[&deadline_ms=50]
+//	GET  /v1/metrics
+//	GET  /v1/healthz
+//	POST /v1/refresh
+//	POST /v1/mutate    {"ops":[{"op":"insert","src":1,"dst":2,"w":0.5}]}
+//
+// The unversioned paths are aliases for pre-v1 clients; every non-200
+// carries a structured {"code","message","retry_after_ms"} body.
 package main
 
 import (

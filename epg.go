@@ -121,6 +121,14 @@ const (
 	Partition2D = core.Partition2D
 )
 
+// MutationSchedule parameterizes Spec.Mutations, the streaming phase:
+// deterministic batches of edge inserts/deletes applied through an
+// engine's Streamer hook with incremental PageRank/WCC maintenance,
+// each batch conformance-checked bit-equal against a full recompute on
+// the post-batch graph. Stream rows carry Result.Batch > 0 with the
+// mutate / maintain / recompute breakdown.
+type MutationSchedule = core.MutationSchedule
+
 // Result is one measured run with its phase breakdown.
 type Result = core.Result
 
@@ -155,6 +163,11 @@ type Options struct {
 	Seed uint64
 	// EdgeFactor overrides the Kronecker edge factor (default 16).
 	EdgeFactor int
+	// Warnings receives structured knob-drop warnings from the
+	// harness (an engine silently ignoring a Spec knob means the
+	// result row does not measure what the spec asked for). Nil
+	// discards them; the CLI wires this to stderr.
+	Warnings io.Writer
 }
 
 // Suite bundles the framework's runner, machine model, and dataset
@@ -174,7 +187,9 @@ func NewSuite(opts ...Options) *Suite {
 			o.RealWorldDivisor = 64
 		}
 	}
-	return &Suite{runner: harness.NewRunner(all.Registry()), opts: o}
+	r := harness.NewRunner(all.Registry())
+	r.Warnings = o.Warnings
+	return &Suite{runner: r, opts: o}
 }
 
 // Dataset materializes a named dataset: "kron-<scale>", "dota-league"

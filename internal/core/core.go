@@ -138,6 +138,30 @@ type Spec struct {
 	// the greedy streaming vertex-cut (each vertex lives on its lowest
 	// replica shard), the PowerGraph-style edge partition.
 	Partition string
+	// Mutations, when non-nil, appends a streaming phase after the
+	// baseline trials: deterministic batches of edge inserts/deletes
+	// are applied through the engine's Streamer hook and the result is
+	// maintained incrementally, conformance-checked bit-equal against a
+	// full recompute on the post-batch graph. Only PageRank and WCC
+	// support incremental maintenance; engines without the hook get a
+	// knob-drop warning and skip the phase.
+	Mutations *MutationSchedule
+}
+
+// MutationSchedule parameterizes the streaming phase of a spec: how
+// many batches, how many operations per batch, the delete fraction,
+// and the seed driving batch generation. Batches are generated on the
+// homogenized graph, so every engine sees the identical stream.
+type MutationSchedule struct {
+	// Batches is the number of successive mutation batches (>= 1).
+	Batches int
+	// BatchSize is the number of operations per batch (>= 1).
+	BatchSize int
+	// DeleteFrac is the probability each operation is a delete of an
+	// existing edge (the rest are random inserts); in [0, 1].
+	DeleteFrac float64
+	// Seed drives batch generation, independently of Spec.Seed.
+	Seed uint64
 }
 
 // Scheduling policy names for Spec.Sched.
@@ -265,6 +289,22 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("core: unknown partition scheme %q (want %q or %q)",
 			s.Partition, Partition1D, Partition2D)
 	}
+	if ms := s.Mutations; ms != nil {
+		if ms.Batches < 1 {
+			return fmt.Errorf("core: mutation schedule needs batches >= 1, got %d", ms.Batches)
+		}
+		if ms.BatchSize < 1 {
+			return fmt.Errorf("core: mutation schedule needs batch size >= 1, got %d", ms.BatchSize)
+		}
+		if ms.DeleteFrac < 0 || ms.DeleteFrac > 1 {
+			return fmt.Errorf("core: mutation delete fraction must be in [0, 1], got %g", ms.DeleteFrac)
+		}
+		switch s.Algorithm {
+		case engines.PageRank, engines.WCC:
+		default:
+			return fmt.Errorf("core: streaming mutations support pr and wcc, not %s", s.Algorithm)
+		}
+	}
 	return nil
 }
 
@@ -316,6 +356,17 @@ type Result struct {
 	// Algorithm-specific outputs.
 	Iterations    int   // PageRank/CDLP
 	EdgesExamined int64 // traversals (TEPS basis)
+
+	// Streaming-phase fields (Spec.Mutations). Batch is the 1-based
+	// batch index, zero on baseline rows. MutateSec is the modeled cost
+	// of applying the batch to the resident structures, MaintainSec the
+	// incremental re-convergence, and RecomputeSec the displaced
+	// alternative — rebuild plus cold recompute on the post-batch graph
+	// — measured on a fresh machine with the same spec knobs.
+	Batch        int
+	MutateSec    float64
+	MaintainSec  float64
+	RecomputeSec float64
 
 	// NetBytes is the modeled inter-node message traffic of the
 	// algorithm phase (zero on single-box specs; see Spec.Nodes).

@@ -1,0 +1,120 @@
+package engines_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/graph"
+)
+
+// fakeKnobs records setter invocations; which interfaces it exposes is
+// controlled by embedding it in the narrower fakes below.
+type fakeKnobs struct {
+	syncCalls     []bool
+	compressCalls []bool
+	cancelCalls   []func() error
+}
+
+func (f *fakeKnobs) SetSyncSSSP(on bool)          { f.syncCalls = append(f.syncCalls, on) }
+func (f *fakeKnobs) SetCompress(on bool)          { f.compressCalls = append(f.compressCalls, on) }
+func (f *fakeKnobs) SetCancel(check func() error) { f.cancelCalls = append(f.cancelCalls, check) }
+
+type fakeSupporter struct{ supports bool }
+
+func (f fakeSupporter) SupportsMutations() bool { return f.supports }
+
+type fakeStreamer struct{}
+
+func (fakeStreamer) Mutate(graph.Batch) (*engines.MutationReport, error) { return nil, nil }
+func (fakeStreamer) IncrementalPageRank(engines.PROpts) (*engines.PRResult, error) {
+	return nil, nil
+}
+func (fakeStreamer) IncrementalWCC() (*engines.WCCResult, error) { return nil, nil }
+
+func TestConfigureZeroOptionsTouchesNothing(t *testing.T) {
+	f := &fakeKnobs{}
+	ap := engines.Configure(f, engines.Options{})
+	if ap != (engines.Applied{}) {
+		t.Fatalf("zero options reported %+v", ap)
+	}
+	if len(f.syncCalls)+len(f.compressCalls)+len(f.cancelCalls) != 0 {
+		t.Fatal("zero options invoked a setter")
+	}
+}
+
+func TestConfigureSettersAppliedWhenSupported(t *testing.T) {
+	f := &fakeKnobs{}
+	ap := engines.Configure(f, engines.Options{SyncSSSP: true, Compress: true})
+	if !ap.SyncSSSP || !ap.Compress {
+		t.Fatalf("supported knobs not reported applied: %+v", ap)
+	}
+	if len(f.syncCalls) != 1 || !f.syncCalls[0] {
+		t.Fatalf("SetSyncSSSP calls = %v", f.syncCalls)
+	}
+	if len(f.compressCalls) != 1 || !f.compressCalls[0] {
+		t.Fatalf("SetCompress calls = %v", f.compressCalls)
+	}
+	if ap.Cancel || ap.Mutations {
+		t.Fatalf("unrequested knobs reported applied: %+v", ap)
+	}
+}
+
+func TestConfigureUnsupportedTargetReportsDropped(t *testing.T) {
+	ap := engines.Configure(struct{}{}, engines.Options{
+		SyncSSSP: true, Compress: true, Cancel: func() error { return nil }, Mutations: true,
+	})
+	if ap != (engines.Applied{}) {
+		t.Fatalf("bare struct reported support: %+v", ap)
+	}
+}
+
+func TestConfigureCancelInstallAndClear(t *testing.T) {
+	f := &fakeKnobs{}
+	sentinel := errors.New("stop")
+	check := func() error { return sentinel }
+
+	ap := engines.Configure(f, engines.Options{Cancel: check})
+	if !ap.Cancel {
+		t.Fatal("cancel install not reported")
+	}
+	if len(f.cancelCalls) != 1 || f.cancelCalls[0] == nil || !errors.Is(f.cancelCalls[0](), sentinel) {
+		t.Fatalf("installed hook wrong: %v", f.cancelCalls)
+	}
+
+	// ClearCancel wins even when a hook is also supplied.
+	ap = engines.Configure(f, engines.Options{Cancel: check, ClearCancel: true})
+	if !ap.Cancel {
+		t.Fatal("cancel clear not reported")
+	}
+	if len(f.cancelCalls) != 2 || f.cancelCalls[1] != nil {
+		t.Fatalf("clear did not install nil: %v", f.cancelCalls)
+	}
+}
+
+func TestConfigureMutationsProbe(t *testing.T) {
+	cases := []struct {
+		name   string
+		target any
+		want   bool
+	}{
+		{"streamer instance", fakeStreamer{}, true},
+		{"supporting engine", fakeSupporter{supports: true}, true},
+		{"non-supporting engine", fakeSupporter{supports: false}, false},
+		{"plain target", struct{}{}, false},
+	}
+	for _, c := range cases {
+		ap := engines.Configure(c.target, engines.Options{Mutations: true})
+		if ap.Mutations != c.want {
+			t.Errorf("%s: Mutations = %v, want %v", c.name, ap.Mutations, c.want)
+		}
+	}
+}
+
+func TestConfigureProbeHasNoSideEffects(t *testing.T) {
+	f := &fakeKnobs{}
+	engines.Configure(f, engines.Options{Mutations: true})
+	if len(f.syncCalls)+len(f.compressCalls)+len(f.cancelCalls) != 0 {
+		t.Fatal("mutation probe invoked a setter")
+	}
+}

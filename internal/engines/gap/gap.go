@@ -120,6 +120,13 @@ type Instance struct {
 	// granularity by the long-running kernels (engines.CancelSetter);
 	// a non-nil return abandons the run with that error.
 	cancel func() error
+	// stream holds the mutation overlay (dirty sets and cached
+	// incremental baselines); nil until the first Streamer call.
+	stream *streamState
+	// prRec, when non-nil, makes PageRank snapshot its per-iteration
+	// trajectory into it — armed only by recordedPageRank, so plain
+	// runs never pay the O(iters·n) memory.
+	prRec *prTrajectory
 }
 
 // SetCancel implements engines.CancelSetter: check is polled between

@@ -105,6 +105,11 @@ func (inst *Instance) PageRank(opts engines.PROpts) (*engines.PRResult, error) {
 
 		rank, next = next, rank
 		res.Iterations = iter
+		if inst.prRec != nil {
+			inst.prRec.record(rank, dr, lr,
+				parallel.NumChunks(n, gContrib), parallel.NumChunks(n, gL1),
+				dangling, base, l1)
+		}
 		if l1 < opts.Epsilon {
 			break
 		}

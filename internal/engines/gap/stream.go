@@ -1,0 +1,663 @@
+package gap
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/parallel"
+	"github.com/hpcl-repro/epg/internal/simmachine"
+)
+
+// Streaming-mutation cost constants. The maintenance rates reuse the
+// kernels' per-item magnitudes (a recomputed pull row costs what the
+// kernel charges a pull row), so incremental-vs-recompute comparisons
+// in the stream study measure work saved, not a different price list.
+var (
+	// Batch replay: one op is a hash probe plus a binary search in the
+	// current row.
+	costMutOp = simmachine.Cost{Cycles: 40, Bytes: 32}
+	// Row rebuild: merging one entry of a dirty row vs bulk-copying
+	// one entry of a clean row.
+	costMutRowEdge  = simmachine.Cost{Cycles: 6, Bytes: 20}
+	costMutCopyEdge = simmachine.Cost{Cycles: 1, Bytes: 8}
+	// PR patching: recomputing one contrib/dangling vertex and one L1
+	// vertex, at the kernel's own rates (3cy/16B and 4cy/16B).
+	costPRContrib = simmachine.Cost{Cycles: 3, Bytes: 16}
+	costPRL1      = simmachine.Cost{Cycles: 4, Bytes: 16}
+	// WCC repair: classifying one vertex against the affected-label
+	// set, one DSU union over an inserted edge, and the final
+	// label-resolution pass per vertex.
+	costCCSVertex = simmachine.Cost{Cycles: 4, Bytes: 16}
+	costCCUnion   = simmachine.Cost{Cycles: 20, Bytes: 24}
+	costCCRelabel = simmachine.Cost{Cycles: 2, Bytes: 16}
+)
+
+// SupportsMutations implements engines.MutationSupporter: GAP
+// instances implement engines.Streamer.
+func (e *Engine) SupportsMutations() bool { return true }
+
+// streamState is the mutation overlay: dirty sets accumulated across
+// Mutate calls plus the cached baselines the incremental maintainers
+// patch against. Allocated lazily — plain static runs never pay for
+// it.
+type streamState struct {
+	// prTraj is the recorded per-iteration PageRank trajectory of the
+	// last (in)cremental run; degDirty / inDirty are the rows whose
+	// out-degree / in-membership changed since it was recorded.
+	prTraj   *prTrajectory
+	degDirty map[graph.VID]struct{}
+	inDirty  map[graph.VID]struct{}
+	// wccLab is the component labeling of the last IncrementalWCC;
+	// wccAdds / wccDels are the net edge changes since.
+	wccLab  []graph.VID
+	wccAdds []graph.Edge
+	wccDels []graph.Edge
+}
+
+func (inst *Instance) streamState() *streamState {
+	if inst.stream == nil {
+		inst.stream = &streamState{
+			degDirty: make(map[graph.VID]struct{}),
+			inDirty:  make(map[graph.VID]struct{}),
+		}
+	}
+	return inst.stream
+}
+
+// OutCSR returns the current-epoch out-adjacency. Callers traversing
+// the structure directly (the serving daemon's k-hop path) re-fetch it
+// after mutations; previous epochs stay frozen.
+func (inst *Instance) OutCSR() *graph.CSR {
+	inst.ensureBuilt()
+	return inst.out
+}
+
+// Mutate implements engines.Streamer: it applies the batch to the out-
+// (and, for directed graphs, in-) adjacency through the epoch-rebuild
+// overlay, recompresses when the compressed siblings are live, and
+// accumulates the dirty sets the incremental maintainers consume. The
+// replay is charged serially per op; the row rebuild is charged as a
+// uniform parallel merge over touched entries.
+func (inst *Instance) Mutate(batch graph.Batch) (*engines.MutationReport, error) {
+	inst.ensureBuilt()
+	st := inst.streamState()
+	directed := inst.in != inst.out
+
+	mo := graph.NewMutableCSR(inst.out, directed)
+	res, err := mo.Apply(batch)
+	if err != nil {
+		return nil, err
+	}
+	edgesTouched, copied := res.EdgesTouched, res.CopiedEdges
+	var resIn *graph.ApplyResult
+	var mi *graph.MutableCSR
+	if directed {
+		mi = graph.NewMutableCSR(inst.in, true)
+		resIn, err = mi.Apply(batch.Reversed())
+		if err != nil {
+			// The reversed batch validates identically to the forward
+			// one, so this is unreachable; guard anyway rather than
+			// tear the pair.
+			return nil, fmt.Errorf("gap: in-adjacency apply diverged: %w", err)
+		}
+		edgesTouched += resIn.EdgesTouched
+		copied += resIn.CopiedEdges
+	}
+
+	// Both applies succeeded: swap epochs.
+	inst.out = mo.CSR()
+	if directed {
+		inst.in = mi.CSR()
+	} else {
+		inst.in = inst.out
+	}
+	inst.mEdges = inst.out.NumEdges()
+
+	inst.m.ChargeSerial(costMutOp.Scale(float64(len(batch))))
+	inst.m.ChargeUniform(int(edgesTouched), 4096, simmachine.Dynamic, costMutRowEdge)
+	inst.m.ChargeUniform(int(copied), 4096, simmachine.Dynamic, costMutCopyEdge)
+
+	if inst.eng.Compress {
+		// The compressed siblings are rebuilt whole; mutation-aware
+		// re-encoding of dirty rows only is a named follow-up.
+		inst.m.ChargeUniform(int(inst.out.NumEdges()), 4096, simmachine.Dynamic, costCompressEdge)
+		inst.cout = graph.CompressCSR(inst.out, 0)
+		if directed {
+			inst.m.ChargeUniform(int(inst.in.NumEdges()), 4096, simmachine.Dynamic, costCompressEdge)
+			inst.cin = graph.CompressCSR(inst.in, 0)
+		} else {
+			inst.cin = inst.cout
+		}
+	}
+
+	// Accumulate dirty state. Contrib depends on out-degree only;
+	// pull rows on in-membership; WCC on the net edge changes.
+	for _, v := range res.DegChanged {
+		st.degDirty[v] = struct{}{}
+	}
+	inStruct := res.StructRows
+	if directed {
+		inStruct = resIn.StructRows
+	}
+	for _, v := range inStruct {
+		st.inDirty[v] = struct{}{}
+	}
+	st.wccAdds = append(st.wccAdds, res.AddedEdges...)
+	st.wccDels = append(st.wccDels, res.RemovedEdges...)
+
+	return &engines.MutationReport{
+		Stats:        res.Stats,
+		DirtyRows:    len(res.DirtyRows),
+		EdgesTouched: edgesTouched,
+	}, nil
+}
+
+// prIter is one recorded PageRank iteration: the rank vector after the
+// swap plus every intermediate the kernel folds — per-chunk dangling
+// and L1 partials and their chunk-ordered sums — so a replay can patch
+// any subset of chunks and still reproduce the fold bit for bit.
+type prIter struct {
+	rank      []float64
+	dangParts []float64
+	dangling  float64
+	base      float64
+	l1Parts   []float64
+	l1        float64
+}
+
+// prTrajectory is the memoized trajectory of one PageRank run.
+type prTrajectory struct {
+	opts       engines.PROpts
+	dangChunks int
+	l1Chunks   int
+	iters      []prIter
+}
+
+// record snapshots one iteration from inside the kernel (pr.go calls
+// it when recording is armed). It copies; the kernel reuses its
+// buffers.
+func (t *prTrajectory) record(rank []float64, dr, lr *parallel.Reducer[float64], dangChunks, l1Chunks int, dangling, base, l1 float64) {
+	it := prIter{
+		rank:      append([]float64(nil), rank...),
+		dangParts: make([]float64, dangChunks),
+		l1Parts:   make([]float64, l1Chunks),
+		dangling:  dangling,
+		base:      base,
+		l1:        l1,
+	}
+	for c := 0; c < dangChunks; c++ {
+		it.dangParts[c] = *dr.At(c)
+	}
+	for c := 0; c < l1Chunks; c++ {
+		it.l1Parts[c] = *lr.At(c)
+	}
+	t.dangChunks, t.l1Chunks = dangChunks, l1Chunks
+	t.iters = append(t.iters, it)
+}
+
+// recordedPageRank runs the full kernel with trajectory recording
+// armed and installs the result as the new baseline. Recording only
+// copies state the kernel already computed, so the modeled cost is
+// exactly the full run's.
+func (inst *Instance) recordedPageRank(opts engines.PROpts) (*engines.PRResult, error) {
+	st := inst.streamState()
+	traj := &prTrajectory{opts: opts}
+	inst.prRec = traj
+	res, err := inst.PageRank(opts)
+	inst.prRec = nil
+	if err != nil {
+		return nil, err
+	}
+	st.prTraj = traj
+	st.degDirty = make(map[graph.VID]struct{})
+	st.inDirty = make(map[graph.VID]struct{})
+	return res, nil
+}
+
+// IncrementalPageRank implements engines.Streamer. It re-converges
+// from the recorded trajectory of the previous run with sweeps
+// restricted to the dirty frontier: per iteration it recomputes only
+// the dangling-partial chunks, pull rows, and L1 chunks whose inputs
+// changed, splicing cached partials everywhere else and folding in
+// chunk order — so every dangling sum, base value, rank entry, L1
+// norm, and convergence decision is bit-equal to a cold PageRank on
+// the post-batch graph. The patched trajectory becomes the new
+// baseline. Without a baseline (first call, or changed opts/grain
+// geometry) it runs the recording full kernel.
+func (inst *Instance) IncrementalPageRank(opts engines.PROpts) (*engines.PRResult, error) {
+	inst.ensureBuilt()
+	opts = opts.Normalize()
+	n := inst.n
+	if n == 0 {
+		return &engines.PRResult{}, nil
+	}
+	st := inst.streamState()
+	gContrib := inst.m.Grain(n, 2048, 1)
+	gPull := inst.m.Grain(n, 1024, 1)
+	gL1 := inst.m.Grain(n, 4096, 1)
+	dangChunks := parallel.NumChunks(n, gContrib)
+	l1Chunks := parallel.NumChunks(n, gL1)
+
+	traj := st.prTraj
+	if traj == nil || traj.opts != opts || traj.dangChunks != dangChunks || traj.l1Chunks != l1Chunks || len(traj.iters) == 0 {
+		return inst.recordedPageRank(opts)
+	}
+	if len(st.degDirty) == 0 && len(st.inDirty) == 0 {
+		// No structural drift since the baseline: the cached run IS
+		// the post-batch run.
+		last := traj.iters[len(traj.iters)-1]
+		return &engines.PRResult{
+			Rank:       append([]float64(nil), last.rank...),
+			Iterations: len(traj.iters),
+		}, nil
+	}
+
+	if err := inst.checkCancel("IncrementalPageRank"); err != nil {
+		return nil, err
+	}
+
+	inv := 1.0 / float64(n)
+	outDeg := inst.out.OutDegrees() // post-batch degrees
+
+	// degDirtyList: vertices whose contrib can differ from cache even
+	// with an unchanged rank. inRows: rows whose in-neighborhood
+	// membership changed, recomputed every iteration.
+	degDirtyList := make([]graph.VID, 0, len(st.degDirty))
+	for v := range st.degDirty {
+		degDirtyList = append(degDirtyList, v)
+	}
+	inRows := make([]graph.VID, 0, len(st.inDirty))
+	for v := range st.inDirty {
+		inRows = append(inRows, v)
+	}
+
+	// prev is the replay's rank_{t-1}, maintained bit-equal to the
+	// cold post-batch run's by induction (both runs start uniform).
+	prev := make([]float64, n)
+	for i := range prev {
+		prev[i] = inv
+	}
+	// changed lists the vertices where prev differs from the cached
+	// rank_{t-1}; empty at t=1.
+	var changed []graph.VID
+
+	newTraj := &prTrajectory{opts: opts, dangChunks: dangChunks, l1Chunks: l1Chunks}
+	rowMark := make([]bool, n)
+	chunkMark := make([]bool, dangChunks)
+	l1Mark := make([]bool, l1Chunks)
+
+	serialSum := func(v graph.VID, base float64) float64 {
+		// Bitwise the kernel's per-vertex pull: contrib computed on
+		// demand from prev, zero for dangling in-neighbors, summed in
+		// sorted adjacency order.
+		sum := 0.0
+		for _, u := range inst.in.Neighbors(v) {
+			c := 0.0
+			if d := outDeg[u]; d != 0 {
+				c = prev[u] / float64(d)
+			}
+			sum += c
+		}
+		return base + opts.Damping*sum
+	}
+
+	iterations := 0
+	beyondCache := false
+	for t := 1; t <= opts.MaxIter; t++ {
+		if beyondCache || t > len(traj.iters) {
+			beyondCache = true
+			// Past the recorded horizon: no cache to patch against.
+			// Emulate the kernel's full iteration serially with the
+			// same chunk partials and fold order, at full kernel
+			// rates.
+			cur, it := inst.prFullIterEmulated(prev, outDeg, opts, inv, gContrib, gPull, gL1, dangChunks, l1Chunks)
+			newTraj.iters = append(newTraj.iters, it)
+			prev = cur
+			iterations = t
+			if it.l1 < opts.Epsilon {
+				break
+			}
+			continue
+		}
+		ci := &traj.iters[t-1]
+
+		// Dangling partials: chunks containing a changed-rank or
+		// degree-dirty vertex recompute; the rest splice the cached
+		// partial. Fold in chunk order.
+		for _, v := range changed {
+			chunkMark[int(v)/gContrib] = true
+		}
+		for _, v := range degDirtyList {
+			chunkMark[int(v)/gContrib] = true
+		}
+		dangling := 0.0
+		var dangVerts int
+		it := prIter{dangParts: make([]float64, dangChunks)}
+		for c := 0; c < dangChunks; c++ {
+			p := ci.dangParts[c]
+			if chunkMark[c] {
+				chunkMark[c] = false
+				lo := c * gContrib
+				hi := lo + gContrib
+				if hi > n {
+					hi = n
+				}
+				p = 0
+				for v := lo; v < hi; v++ {
+					if outDeg[v] == 0 {
+						p += prev[v]
+					}
+				}
+				dangVerts += hi - lo
+			}
+			it.dangParts[c] = p
+			dangling += p
+		}
+		base := (1-opts.Damping)*inv + opts.Damping*dangling*inv
+		it.dangling, it.base = dangling, base
+		inst.m.ChargeUniform(dangVerts, gContrib, simmachine.Dynamic, costPRContrib)
+
+		var cur []float64
+		var newChanged []graph.VID
+		if dangling != ci.dangling {
+			// The base moved: every rank entry can differ. Full pull
+			// sweep at kernel rates.
+			cur = make([]float64, n)
+			for v := 0; v < n; v++ {
+				cur[v] = serialSum(graph.VID(v), base)
+				if cur[v] != ci.rank[v] {
+					newChanged = append(newChanged, graph.VID(v))
+				}
+			}
+			inst.m.ChargeUniform(n, gPull, simmachine.Dynamic, costPRVertex)
+			inst.m.ChargeUniform(int(inst.in.NumEdges()), 4096, simmachine.Dynamic, costPREdge)
+		} else {
+			// Restricted sweep: rows with changed in-membership plus
+			// post-graph out-neighbors of any contrib-dirty vertex.
+			rows := make([]graph.VID, 0, len(inRows))
+			mark := func(v graph.VID) {
+				if !rowMark[v] {
+					rowMark[v] = true
+					rows = append(rows, v)
+				}
+			}
+			for _, v := range inRows {
+				mark(v)
+			}
+			for _, u := range changed {
+				for _, v := range inst.out.Neighbors(u) {
+					mark(v)
+				}
+			}
+			for _, u := range degDirtyList {
+				for _, v := range inst.out.Neighbors(u) {
+					mark(v)
+				}
+			}
+			cur = append([]float64(nil), ci.rank...)
+			var pullEdges int64
+			for _, v := range rows {
+				rowMark[v] = false
+				cur[v] = serialSum(v, base)
+				pullEdges += inst.in.Degree(v)
+				if cur[v] != ci.rank[v] {
+					newChanged = append(newChanged, v)
+				}
+			}
+			inst.m.ChargeUniform(len(rows), gPull, simmachine.Dynamic, costPRVertex)
+			inst.m.ChargeUniform(int(pullEdges), 4096, simmachine.Dynamic, costPREdge)
+		}
+		it.rank = cur
+
+		// L1 partials: chunks containing a vertex whose prev or cur
+		// differs from cache recompute; fold in chunk order.
+		for _, v := range changed {
+			l1Mark[int(v)/gL1] = true
+		}
+		for _, v := range newChanged {
+			l1Mark[int(v)/gL1] = true
+		}
+		l1 := 0.0
+		var l1Verts int
+		it.l1Parts = make([]float64, l1Chunks)
+		for c := 0; c < l1Chunks; c++ {
+			p := ci.l1Parts[c]
+			if l1Mark[c] {
+				l1Mark[c] = false
+				lo := c * gL1
+				hi := lo + gL1
+				if hi > n {
+					hi = n
+				}
+				p = 0
+				for v := lo; v < hi; v++ {
+					p += math.Abs(cur[v] - prev[v])
+				}
+				l1Verts += hi - lo
+			}
+			it.l1Parts[c] = p
+			l1 += p
+		}
+		it.l1 = l1
+		inst.m.ChargeUniform(l1Verts, gL1, simmachine.Dynamic, costPRL1)
+
+		newTraj.iters = append(newTraj.iters, it)
+		prev = cur
+		changed = newChanged
+		iterations = t
+		if l1 < opts.Epsilon {
+			break
+		}
+	}
+
+	st.prTraj = newTraj
+	st.degDirty = make(map[graph.VID]struct{})
+	st.inDirty = make(map[graph.VID]struct{})
+	return &engines.PRResult{
+		Rank:       append([]float64(nil), prev...),
+		Iterations: iterations,
+	}, nil
+}
+
+// prFullIterEmulated computes one full PageRank iteration serially
+// with the kernel's exact arithmetic: per-chunk dangling partials
+// folded in chunk order, per-vertex pulls in sorted adjacency order,
+// per-chunk L1 partials folded in chunk order. Charged at full kernel
+// rates — an iteration past the recorded horizon saves nothing.
+func (inst *Instance) prFullIterEmulated(prev []float64, outDeg []int64, opts engines.PROpts, inv float64, gContrib, gPull, gL1, dangChunks, l1Chunks int) ([]float64, prIter) {
+	n := inst.n
+	it := prIter{
+		dangParts: make([]float64, dangChunks),
+		l1Parts:   make([]float64, l1Chunks),
+	}
+	dangling := 0.0
+	for c := 0; c < dangChunks; c++ {
+		lo := c * gContrib
+		hi := lo + gContrib
+		if hi > n {
+			hi = n
+		}
+		p := 0.0
+		for v := lo; v < hi; v++ {
+			if outDeg[v] == 0 {
+				p += prev[v]
+			}
+		}
+		it.dangParts[c] = p
+		dangling += p
+	}
+	base := (1-opts.Damping)*inv + opts.Damping*dangling*inv
+	it.dangling, it.base = dangling, base
+	inst.m.ChargeUniform(n, gContrib, simmachine.Dynamic, costPRContrib)
+
+	cur := make([]float64, n)
+	for v := 0; v < n; v++ {
+		sum := 0.0
+		for _, u := range inst.in.Neighbors(graph.VID(v)) {
+			c := 0.0
+			if d := outDeg[u]; d != 0 {
+				c = prev[u] / float64(d)
+			}
+			sum += c
+		}
+		cur[v] = base + opts.Damping*sum
+	}
+	inst.m.ChargeUniform(n, gPull, simmachine.Dynamic, costPRVertex)
+	inst.m.ChargeUniform(int(inst.in.NumEdges()), 4096, simmachine.Dynamic, costPREdge)
+
+	l1 := 0.0
+	for c := 0; c < l1Chunks; c++ {
+		lo := c * gL1
+		hi := lo + gL1
+		if hi > n {
+			hi = n
+		}
+		p := 0.0
+		for v := lo; v < hi; v++ {
+			p += math.Abs(cur[v] - prev[v])
+		}
+		it.l1Parts[c] = p
+		l1 += p
+	}
+	it.l1 = l1
+	inst.m.ChargeUniform(n, gL1, simmachine.Dynamic, costPRL1)
+
+	it.rank = cur
+	return cur, it
+}
+
+// IncrementalWCC implements engines.Streamer. Inserts union component
+// labels through a min-rooted DSU; deletes recompute the affected
+// components — the full baseline components of every removed edge's
+// endpoints — by serial BFS over the post-batch adjacency restricted
+// to that set, from ascending roots (so each piece is labeled by its
+// minimum vertex, the kernel's canonical form). No baseline edge
+// crosses the affected set's boundary (components are closed), and
+// inserted edges that do are handled by the DSU pass, so the result is
+// exactly the kernel's labeling of the post-batch graph. The output
+// becomes the new baseline.
+func (inst *Instance) IncrementalWCC() (*engines.WCCResult, error) {
+	inst.ensureBuilt()
+	st := inst.streamState()
+	if st.wccLab == nil {
+		res, err := inst.WCC()
+		if err != nil {
+			return nil, err
+		}
+		st.wccLab = append([]graph.VID(nil), res.Component...)
+		st.wccAdds, st.wccDels = nil, nil
+		return res, nil
+	}
+	n := inst.n
+	if len(st.wccAdds) == 0 && len(st.wccDels) == 0 {
+		return &engines.WCCResult{Component: append([]graph.VID(nil), st.wccLab...)}, nil
+	}
+	if err := inst.checkCancel("IncrementalWCC"); err != nil {
+		return nil, err
+	}
+
+	lab := st.wccLab
+	newlab := append([]graph.VID(nil), lab...)
+	directed := inst.in != inst.out
+
+	if len(st.wccDels) > 0 {
+		// Affected components: baseline labels of every removed
+		// edge's endpoints; S is their full vertex set.
+		affected := make(map[graph.VID]struct{})
+		for _, e := range st.wccDels {
+			affected[lab[e.Src]] = struct{}{}
+			affected[lab[e.Dst]] = struct{}{}
+		}
+		inS := make([]bool, n)
+		var S []graph.VID
+		for v := 0; v < n; v++ {
+			if _, ok := affected[lab[v]]; ok {
+				inS[v] = true
+				S = append(S, graph.VID(v))
+			}
+		}
+		inst.m.ChargeUniform(n, 2048, simmachine.Dynamic, costCCRelabel)
+
+		// Serial BFS over post-batch adjacency restricted to S, roots
+		// ascending: the first unvisited vertex of each piece is its
+		// minimum, so labels come out canonical.
+		visited := make([]bool, n)
+		var bfsEdges int64
+		q := make([]graph.VID, 0, 64)
+		for _, root := range S {
+			if visited[root] {
+				continue
+			}
+			visited[root] = true
+			newlab[root] = root
+			q = append(q[:0], root)
+			for head := 0; head < len(q); head++ {
+				v := q[head]
+				for _, u := range inst.out.Neighbors(v) {
+					bfsEdges++
+					if inS[u] && !visited[u] {
+						visited[u] = true
+						newlab[u] = root
+						q = append(q, u)
+					}
+				}
+				if directed {
+					for _, u := range inst.in.Neighbors(v) {
+						bfsEdges++
+						if inS[u] && !visited[u] {
+							visited[u] = true
+							newlab[u] = root
+							q = append(q, u)
+						}
+					}
+				}
+			}
+		}
+		inst.m.ChargeSerial(costCCSVertex.Scale(float64(len(S))))
+		inst.m.ChargeSerial(costCCEdge.Scale(float64(bfsEdges)))
+	}
+
+	// Union over inserted edges: a min-rooted DSU on component labels,
+	// so merged components keep the global minimum as representative.
+	parent := make(map[graph.VID]graph.VID)
+	find := func(x graph.VID) graph.VID {
+		root := x
+		for {
+			p, ok := parent[root]
+			if !ok {
+				break
+			}
+			root = p
+		}
+		for x != root {
+			p := parent[x]
+			parent[x] = root
+			x = p
+		}
+		return root
+	}
+	for _, e := range st.wccAdds {
+		a, b := find(newlab[e.Src]), find(newlab[e.Dst])
+		if a == b {
+			continue
+		}
+		if a < b {
+			parent[b] = a
+		} else {
+			parent[a] = b
+		}
+	}
+	inst.m.ChargeSerial(costCCUnion.Scale(float64(len(st.wccAdds))))
+
+	comp := make([]graph.VID, n)
+	for v := 0; v < n; v++ {
+		comp[v] = find(newlab[v])
+	}
+	inst.m.ChargeUniform(n, 2048, simmachine.Dynamic, costCCRelabel)
+
+	st.wccLab = append(st.wccLab[:0], comp...)
+	st.wccAdds, st.wccDels = nil, nil
+	return &engines.WCCResult{Component: comp}, nil
+}

@@ -1,0 +1,393 @@
+package gap
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/graph"
+	"github.com/hpcl-repro/epg/internal/xrand"
+)
+
+// elFromCSR reconstructs the edge list a current-epoch CSR represents:
+// the exact input from which a cold BuildStructure reproduces the same
+// normalized structure. Undirected rows hold both orientations with
+// equal weights, so one canonical (u < v) orientation suffices.
+func elFromCSR(c *graph.CSR, directed bool) *graph.EdgeList {
+	el := &graph.EdgeList{NumVertices: c.NumVertices, Weighted: c.Weights != nil, Directed: directed}
+	for v := 0; v < c.NumVertices; v++ {
+		adj := c.Neighbors(graph.VID(v))
+		ws := c.NeighborWeights(graph.VID(v))
+		for i, u := range adj {
+			if !directed && u < graph.VID(v) {
+				continue
+			}
+			e := graph.Edge{Src: graph.VID(v), Dst: u}
+			if ws != nil {
+				e.W = ws[i]
+			}
+			el.Edges = append(el.Edges, e)
+		}
+	}
+	return el
+}
+
+// sampleEdge picks a uniformly random stored adjacency entry.
+func sampleEdge(c *graph.CSR, r *xrand.RNG) (graph.VID, graph.VID, bool) {
+	if c.NumEdges() == 0 {
+		return 0, 0, false
+	}
+	idx := int64(r.Intn(int(c.NumEdges())))
+	v := sort.Search(c.NumVertices, func(v int) bool { return c.Offsets[v+1] > idx })
+	return graph.VID(v), c.Adj[idx], true
+}
+
+// streamBatch builds a deterministic mixed batch against the current
+// epoch: deletes sample stored edges, inserts draw random pairs.
+func streamBatch(c *graph.CSR, r *xrand.RNG, ops int, deleteFrac float64) graph.Batch {
+	n := c.NumVertices
+	b := make(graph.Batch, 0, ops)
+	for i := 0; i < ops; i++ {
+		if r.Float64() < deleteFrac {
+			if u, v, ok := sampleEdge(c, r); ok {
+				b = append(b, graph.Mutation{Op: graph.MutDelete, Src: u, Dst: v})
+				continue
+			}
+		}
+		b = append(b, graph.Mutation{
+			Op:  graph.MutInsert,
+			Src: graph.VID(r.Intn(n)),
+			Dst: graph.VID(r.Intn(n)),
+			W:   float32(1 - r.Float64()),
+		})
+	}
+	return b
+}
+
+func ranksEqual(t *testing.T, got, want *engines.PRResult, ctx string) {
+	t.Helper()
+	if got.Iterations != want.Iterations {
+		t.Fatalf("%s: iterations %d, full recompute %d", ctx, got.Iterations, want.Iterations)
+	}
+	if len(got.Rank) != len(want.Rank) {
+		t.Fatalf("%s: rank length %d vs %d", ctx, len(got.Rank), len(want.Rank))
+	}
+	for v := range want.Rank {
+		if got.Rank[v] != want.Rank[v] {
+			t.Fatalf("%s: rank[%d] = %x, full recompute %x", ctx, v, got.Rank[v], want.Rank[v])
+		}
+	}
+}
+
+func labelsEqual(t *testing.T, got, want *engines.WCCResult, ctx string) {
+	t.Helper()
+	if len(got.Component) != len(want.Component) {
+		t.Fatalf("%s: component length %d vs %d", ctx, len(got.Component), len(want.Component))
+	}
+	for v := range want.Component {
+		if got.Component[v] != want.Component[v] {
+			t.Fatalf("%s: component[%d] = %d, full recompute %d", ctx, v, got.Component[v], want.Component[v])
+		}
+	}
+}
+
+// freshPR runs a cold full PageRank on the post-batch graph.
+func freshPR(t *testing.T, el *graph.EdgeList, threads int) *engines.PRResult {
+	t.Helper()
+	inst := load(t, New(), el, threads)
+	res, err := inst.PageRank(engines.DefaultPROpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func freshWCC(t *testing.T, el *graph.EdgeList, threads int) *engines.WCCResult {
+	t.Helper()
+	inst := load(t, New(), el, threads)
+	res, err := inst.WCC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// The tentpole wall: across a stream of mixed batches, incremental
+// PageRank must stay bit-equal (ranks and iteration counts) to a cold
+// full recompute on the post-batch graph, at every worker count.
+func TestIncrementalPageRankBitEqualFullRecompute(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			el := kron(7, seed)
+			el.Directed = directed
+			var prevRanks []float64
+			for _, threads := range []int{2, 8} {
+				inst := load(t, New(), el, threads)
+				if _, err := inst.IncrementalPageRank(engines.DefaultPROpts()); err != nil {
+					t.Fatal(err)
+				}
+				r := xrand.New(seed ^ 0xabcd)
+				var finalRanks []float64
+				for batch := 0; batch < 4; batch++ {
+					b := streamBatch(inst.OutCSR(), r, 40, 0.4)
+					if _, err := inst.Mutate(b); err != nil {
+						t.Fatal(err)
+					}
+					inc, err := inst.IncrementalPageRank(engines.DefaultPROpts())
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := freshPR(t, elFromCSR(inst.OutCSR(), directed), 8)
+					ranksEqual(t, inc, want, "directed="+bstr(directed))
+					finalRanks = inc.Rank
+				}
+				if prevRanks != nil {
+					for v := range prevRanks {
+						if prevRanks[v] != finalRanks[v] {
+							t.Fatalf("threads=%d diverges from previous worker count at %d", threads, v)
+						}
+					}
+				}
+				prevRanks = finalRanks
+			}
+		}
+	}
+}
+
+func bstr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// A baseline that converges instantly (regular ring: uniform ranks are
+// the fixed point) followed by a hub insertion forces the patched
+// replay past the recorded horizon, exercising the full-emulation
+// iterations.
+func TestIncrementalPageRankBeyondCachedHorizon(t *testing.T) {
+	n := 64
+	el := &graph.EdgeList{NumVertices: n}
+	for v := 0; v < n; v++ {
+		el.Edges = append(el.Edges, graph.Edge{Src: graph.VID(v), Dst: graph.VID((v + 1) % n)})
+	}
+	inst := load(t, New(), el, 4)
+	base, err := inst.IncrementalPageRank(engines.DefaultPROpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Iterations > 2 {
+		t.Fatalf("ring baseline took %d iterations; expected near-instant convergence", base.Iterations)
+	}
+	var b graph.Batch
+	for v := 1; v < n; v += 2 {
+		b = append(b, graph.Mutation{Op: graph.MutInsert, Src: 0, Dst: graph.VID(v)})
+	}
+	if _, err := inst.Mutate(b); err != nil {
+		t.Fatal(err)
+	}
+	inc, err := inst.IncrementalPageRank(engines.DefaultPROpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := freshPR(t, elFromCSR(inst.OutCSR(), false), 8)
+	if inc.Iterations <= base.Iterations {
+		t.Fatalf("hub insertion converged in %d iterations (baseline %d); test no longer reaches past the horizon", inc.Iterations, base.Iterations)
+	}
+	ranksEqual(t, inc, want, "beyond-horizon")
+}
+
+// Deleting a vertex's entire out-row changes the dangling mass, which
+// moves the base term and forces the full-sweep fallback inside the
+// patched replay — still bit-equal.
+func TestIncrementalPageRankDanglingShift(t *testing.T) {
+	el := kron(7, 9)
+	el.Directed = true
+	inst := load(t, New(), el, 4)
+	if _, err := inst.IncrementalPageRank(engines.DefaultPROpts()); err != nil {
+		t.Fatal(err)
+	}
+	// Empty the out-row of the highest-degree vertex.
+	out := inst.OutCSR()
+	var hub graph.VID
+	for v := 0; v < out.NumVertices; v++ {
+		if out.Degree(graph.VID(v)) > out.Degree(hub) {
+			hub = graph.VID(v)
+		}
+	}
+	if out.Degree(hub) == 0 {
+		t.Skip("degenerate graph")
+	}
+	var b graph.Batch
+	for _, u := range out.Neighbors(hub) {
+		b = append(b, graph.Mutation{Op: graph.MutDelete, Src: hub, Dst: u})
+	}
+	if _, err := inst.Mutate(b); err != nil {
+		t.Fatal(err)
+	}
+	inc, err := inst.IncrementalPageRank(engines.DefaultPROpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.OutCSR().Degree(hub); got != 0 {
+		t.Fatalf("hub still has out-degree %d", got)
+	}
+	want := freshPR(t, elFromCSR(inst.OutCSR(), true), 8)
+	ranksEqual(t, inc, want, "dangling-shift")
+}
+
+// Incremental WCC: unions on inserts, affected-component recompute on
+// deletes, integer-exact against the kernel's canonical min-vertex
+// labels across mixed streams, shapes, and worker counts.
+func TestIncrementalWCCBitEqualFullRecompute(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			// Sparse graphs keep multiple components alive so splits
+			// and merges actually occur.
+			el := randomSparseEL(seed, 96, 70, directed)
+			for _, threads := range []int{2, 8} {
+				inst := load(t, New(), el, threads)
+				if _, err := inst.IncrementalWCC(); err != nil {
+					t.Fatal(err)
+				}
+				r := xrand.New(seed ^ 0x77)
+				for batch := 0; batch < 5; batch++ {
+					b := streamBatch(inst.OutCSR(), r, 20, 0.5)
+					if _, err := inst.Mutate(b); err != nil {
+						t.Fatal(err)
+					}
+					inc, err := inst.IncrementalWCC()
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := freshWCC(t, elFromCSR(inst.OutCSR(), directed), 8)
+					labelsEqual(t, inc, want, "directed="+bstr(directed))
+				}
+			}
+		}
+	}
+}
+
+func randomSparseEL(seed uint64, n, m int, directed bool) *graph.EdgeList {
+	r := xrand.New(seed)
+	el := &graph.EdgeList{NumVertices: n, Directed: directed}
+	for i := 0; i < m; i++ {
+		el.Edges = append(el.Edges, graph.Edge{Src: graph.VID(r.Intn(n)), Dst: graph.VID(r.Intn(n))})
+	}
+	return el
+}
+
+// Both maintainers share the overlay but consume their own dirty
+// state: interleaving PR and WCC refreshes across batches must not
+// starve or corrupt either.
+func TestIncrementalMaintainersInterleaved(t *testing.T) {
+	el := kron(7, 4)
+	inst := load(t, New(), el, 4)
+	if _, err := inst.IncrementalPageRank(engines.DefaultPROpts()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.IncrementalWCC(); err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(0xdead)
+	// Batch 1: only PR refreshes.
+	if _, err := inst.Mutate(streamBatch(inst.OutCSR(), r, 30, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.IncrementalPageRank(engines.DefaultPROpts()); err != nil {
+		t.Fatal(err)
+	}
+	// Batch 2: both refresh; WCC must account for batch 1 + 2.
+	if _, err := inst.Mutate(streamBatch(inst.OutCSR(), r, 30, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	pr, err := inst.IncrementalPageRank(engines.DefaultPROpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcc, err := inst.IncrementalWCC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := elFromCSR(inst.OutCSR(), false)
+	ranksEqual(t, pr, freshPR(t, post, 8), "interleaved")
+	labelsEqual(t, wcc, freshWCC(t, post, 8), "interleaved")
+}
+
+// With no mutations since the baseline, the incremental calls return
+// the cached results and charge nothing — the modeled clock must not
+// move.
+func TestIncrementalNoMutationIsFree(t *testing.T) {
+	el := kron(7, 2)
+	inst := load(t, New(), el, 4)
+	base, err := inst.IncrementalPageRank(engines.DefaultPROpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.IncrementalWCC(); err != nil {
+		t.Fatal(err)
+	}
+	before := inst.Machine().Elapsed()
+	again, err := inst.IncrementalPageRank(engines.DefaultPROpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.IncrementalWCC(); err != nil {
+		t.Fatal(err)
+	}
+	if after := inst.Machine().Elapsed(); after != before {
+		t.Fatalf("no-op incremental refresh moved the modeled clock: %v -> %v", before, after)
+	}
+	ranksEqual(t, again, base, "cached")
+}
+
+// Small batches must cost less than a full recompute on the modeled
+// clock — the whole point of the incremental path.
+func TestIncrementalCheaperThanRecompute(t *testing.T) {
+	el := kron(9, 6)
+	inst := load(t, New(), el, 8)
+	if _, err := inst.IncrementalPageRank(engines.DefaultPROpts()); err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(5)
+	b := streamBatch(inst.OutCSR(), r, 8, 0.5)
+	t0 := inst.Machine().Elapsed()
+	if _, err := inst.Mutate(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.IncrementalPageRank(engines.DefaultPROpts()); err != nil {
+		t.Fatal(err)
+	}
+	incCost := inst.Machine().Elapsed() - t0
+
+	// The alternative the incremental path displaces is a full rebuild:
+	// Kernel-1 construction on the post-batch graph plus a cold
+	// PageRank.
+	m2 := machine(8)
+	ri, err := New().Load(elFromCSR(inst.OutCSR(), false), m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ri.(*Instance)
+	ref.BuildStructure()
+	if _, err := ref.PageRank(engines.DefaultPROpts()); err != nil {
+		t.Fatal(err)
+	}
+	fullCost := m2.Elapsed()
+	if incCost >= fullCost {
+		t.Fatalf("incremental maintenance (%v) not cheaper than full recompute (%v) for an 8-op batch", incCost, fullCost)
+	}
+}
+
+// Mutate must reject malformed batches without touching the structure.
+func TestMutateRejectsInvalid(t *testing.T) {
+	el := kron(6, 1)
+	inst := load(t, New(), el, 2)
+	before := inst.OutCSR()
+	if _, err := inst.Mutate(graph.Batch{{Op: graph.MutInsert, Src: 0, Dst: graph.VID(inst.n + 5)}}); err == nil {
+		t.Fatal("out-of-range mutation accepted")
+	}
+	if inst.OutCSR() != before {
+		t.Fatal("failed Mutate swapped the epoch")
+	}
+}

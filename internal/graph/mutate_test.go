@@ -1,0 +1,435 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/hpcl-repro/epg/internal/xrand"
+)
+
+// buildNormalized builds the normal form the harness hands engines:
+// symmetrized (when undirected), self-loop-free, deduplicated, sorted.
+func buildNormalized(el *EdgeList) *CSR {
+	return BuildCSR(el, BuildOptions{
+		Symmetrize:    !el.Directed,
+		DropSelfLoops: true,
+		Dedup:         true,
+		Sort:          true,
+	})
+}
+
+func csrEqual(a, b *CSR) bool {
+	if a.NumVertices != b.NumVertices || len(a.Offsets) != len(b.Offsets) ||
+		len(a.Adj) != len(b.Adj) || (a.Weights == nil) != (b.Weights == nil) {
+		return false
+	}
+	for i := range a.Offsets {
+		if a.Offsets[i] != b.Offsets[i] {
+			return false
+		}
+	}
+	for i := range a.Adj {
+		if a.Adj[i] != b.Adj[i] {
+			return false
+		}
+	}
+	if a.Weights != nil {
+		if len(a.Weights) != len(b.Weights) {
+			return false
+		}
+		for i := range a.Weights {
+			if a.Weights[i] != b.Weights[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// mutModel is the specification oracle: a map of logical edges replayed
+// with the documented semantics (self-loops dropped, duplicate insert
+// takes the minimum weight, delete of an absent edge is a no-op),
+// rebuilt from scratch through BuildCSR after every batch.
+type mutModel struct {
+	n        int
+	directed bool
+	weighted bool
+	edges    map[uint64]float32
+}
+
+func (m *mutModel) key(u, v VID) uint64 {
+	if !m.directed && u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}
+
+func newMutModelFromCSR(c *CSR, directed bool) *mutModel {
+	m := &mutModel{n: c.NumVertices, directed: directed, weighted: c.Weights != nil, edges: make(map[uint64]float32)}
+	for v := 0; v < c.NumVertices; v++ {
+		adj := c.Neighbors(VID(v))
+		ws := c.NeighborWeights(VID(v))
+		for i, u := range adj {
+			if !directed && u < VID(v) {
+				continue // one canonical orientation suffices
+			}
+			var w float32
+			if ws != nil {
+				w = ws[i]
+			}
+			m.edges[m.key(VID(v), u)] = w
+		}
+	}
+	return m
+}
+
+func (m *mutModel) apply(b Batch) {
+	for _, mu := range b {
+		if mu.Src == mu.Dst {
+			continue
+		}
+		k := m.key(mu.Src, mu.Dst)
+		w, ok := m.edges[k]
+		switch mu.Op {
+		case MutInsert:
+			switch {
+			case !ok:
+				if m.weighted {
+					m.edges[k] = mu.W
+				} else {
+					m.edges[k] = 0
+				}
+			case m.weighted && mu.W < w:
+				m.edges[k] = mu.W
+			}
+		case MutDelete:
+			if ok {
+				delete(m.edges, k)
+			}
+		}
+	}
+}
+
+func (m *mutModel) rebuild() *CSR {
+	keys := make([]uint64, 0, len(m.edges))
+	for k := range m.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	el := &EdgeList{NumVertices: m.n, Weighted: m.weighted, Directed: m.directed}
+	for _, k := range keys {
+		el.Edges = append(el.Edges, Edge{Src: VID(k >> 32), Dst: VID(k & 0xffffffff), W: m.edges[k]})
+	}
+	return buildNormalized(el)
+}
+
+func TestMutableCSREmptyBatch(t *testing.T) {
+	el := randomEdgeList(1, 32, 128, false)
+	c := buildNormalized(el)
+	mc := NewMutableCSR(c, false)
+	res, err := mc.Apply(nil)
+	if err != nil {
+		t.Fatalf("Apply(nil): %v", err)
+	}
+	if mc.CSR() != c {
+		t.Fatalf("empty batch rebuilt the structure")
+	}
+	if res.Stats != (MutStats{}) || len(res.DirtyRows) != 0 {
+		t.Fatalf("empty batch reported work: %+v", res)
+	}
+}
+
+func TestMutableCSRDuplicateInsertUnweighted(t *testing.T) {
+	el := &EdgeList{NumVertices: 4, Edges: []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}}
+	c := buildNormalized(el)
+	mc := NewMutableCSR(c, false)
+	res, err := mc.Apply(Batch{{Op: MutInsert, Src: 0, Dst: 1}, {Op: MutInsert, Src: 1, Dst: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DupInserts != 2 || res.Stats.Inserted != 0 {
+		t.Fatalf("stats = %+v, want 2 dup inserts", res.Stats)
+	}
+	if mc.CSR() != c {
+		t.Fatalf("no-op duplicate inserts rebuilt the structure")
+	}
+}
+
+func TestMutableCSRDuplicateInsertWeightedMinRule(t *testing.T) {
+	el := &EdgeList{NumVertices: 4, Weighted: true, Edges: []Edge{{Src: 0, Dst: 1, W: 0.5}}}
+	c := buildNormalized(el)
+	mc := NewMutableCSR(c, false)
+
+	// A higher weight is a pure no-op.
+	if _, err := mc.Apply(Batch{{Op: MutInsert, Src: 0, Dst: 1, W: 0.9}}); err != nil {
+		t.Fatal(err)
+	}
+	if mc.CSR() != c {
+		t.Fatalf("higher-weight duplicate insert rebuilt the structure")
+	}
+
+	// A lower weight updates both orientations without touching
+	// membership: dirty but not structural.
+	res, err := mc.Apply(Batch{{Op: MutInsert, Src: 0, Dst: 1, W: 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DupInserts != 1 {
+		t.Fatalf("stats = %+v", res.Stats)
+	}
+	if got := len(res.DirtyRows); got != 2 {
+		t.Fatalf("DirtyRows = %v, want rows 0 and 1", res.DirtyRows)
+	}
+	if len(res.StructRows) != 0 || len(res.DegChanged) != 0 {
+		t.Fatalf("weight-only change reported structural rows: %+v", res)
+	}
+	if w := mc.CSR().NeighborWeights(0)[0]; w != 0.25 {
+		t.Fatalf("weight after min-rule insert = %v, want 0.25", w)
+	}
+	if w := mc.CSR().NeighborWeights(1)[0]; w != 0.25 {
+		t.Fatalf("mirror weight after min-rule insert = %v, want 0.25", w)
+	}
+}
+
+func TestMutableCSRDeleteNonexistent(t *testing.T) {
+	el := &EdgeList{NumVertices: 4, Edges: []Edge{{Src: 0, Dst: 1}}}
+	c := buildNormalized(el)
+	mc := NewMutableCSR(c, false)
+	res, err := mc.Apply(Batch{{Op: MutDelete, Src: 2, Dst: 3}, {Op: MutDelete, Src: 0, Dst: 1}, {Op: MutDelete, Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second delete of (0,1) hits an already-removed edge.
+	if res.Stats.MissingDeletes != 2 || res.Stats.Deleted != 1 {
+		t.Fatalf("stats = %+v, want 1 delete + 2 missing", res.Stats)
+	}
+	if got := mc.CSR().NumEdges(); got != 0 {
+		t.Fatalf("edges after delete = %d, want 0", got)
+	}
+}
+
+func TestMutableCSRSelfLoopsDropped(t *testing.T) {
+	el := &EdgeList{NumVertices: 4, Edges: []Edge{{Src: 0, Dst: 1}}}
+	c := buildNormalized(el)
+	mc := NewMutableCSR(c, false)
+	res, err := mc.Apply(Batch{{Op: MutInsert, Src: 2, Dst: 2}, {Op: MutDelete, Src: 3, Dst: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SelfLoops != 2 {
+		t.Fatalf("stats = %+v, want 2 self-loops", res.Stats)
+	}
+	if mc.CSR() != c {
+		t.Fatalf("self-loop-only batch rebuilt the structure")
+	}
+}
+
+// A delete+insert pair on the same row preserves its degree while
+// changing membership — the case that makes DegChanged alone an
+// insufficient dirtiness signal for the incremental maintainers.
+func TestMutableCSRDegreePreservingMembershipChange(t *testing.T) {
+	el := &EdgeList{NumVertices: 5, Directed: true, Edges: []Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}}}
+	c := buildNormalized(el)
+	mc := NewMutableCSR(c, true)
+	res, err := mc.Apply(Batch{{Op: MutDelete, Src: 0, Dst: 1}, {Op: MutInsert, Src: 0, Dst: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.StructRows) != 1 || res.StructRows[0] != 0 {
+		t.Fatalf("StructRows = %v, want [0]", res.StructRows)
+	}
+	if len(res.DegChanged) != 0 {
+		t.Fatalf("DegChanged = %v, want empty (degree preserved)", res.DegChanged)
+	}
+	if got := mc.CSR().Neighbors(0); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("row 0 = %v, want [2 3]", got)
+	}
+}
+
+// Apply must be atomic: a validation error leaves the structure (and
+// the wrapped pointer) untouched even when earlier mutations in the
+// batch were valid.
+func TestMutableCSRApplyAtomicOnError(t *testing.T) {
+	el := &EdgeList{NumVertices: 4, Edges: []Edge{{Src: 0, Dst: 1}}}
+	c := buildNormalized(el)
+	mc := NewMutableCSR(c, false)
+	_, err := mc.Apply(Batch{{Op: MutInsert, Src: 2, Dst: 3}, {Op: MutInsert, Src: 0, Dst: 99}})
+	if err == nil {
+		t.Fatalf("out-of-range mutation accepted")
+	}
+	if mc.CSR() != c {
+		t.Fatalf("failed Apply replaced the structure")
+	}
+	if _, err := mc.Apply(Batch{{Op: MutOp(9), Src: 0, Dst: 1}}); err == nil {
+		t.Fatalf("unknown op accepted")
+	}
+}
+
+// Previous epochs stay frozen: readers holding the old CSR see it
+// unchanged after Apply swaps in the rebuilt structure.
+func TestMutableCSREpochFrozen(t *testing.T) {
+	el := randomEdgeList(3, 64, 256, true)
+	c := buildNormalized(el)
+	mc := NewMutableCSR(c, false)
+	adjBefore := append([]VID(nil), c.Adj...)
+	offBefore := append([]int64(nil), c.Offsets...)
+	// Delete an edge guaranteed present so the batch has a net effect.
+	var v0 VID
+	for c.Degree(v0) == 0 {
+		v0++
+	}
+	u0 := c.Neighbors(v0)[0]
+	if _, err := mc.Apply(Batch{{Op: MutDelete, Src: v0, Dst: u0}}); err != nil {
+		t.Fatal(err)
+	}
+	if mc.CSR() == c {
+		t.Fatalf("Apply with net changes did not swap epochs")
+	}
+	for i := range adjBefore {
+		if c.Adj[i] != adjBefore[i] {
+			t.Fatalf("old epoch adjacency mutated at %d", i)
+		}
+	}
+	for i := range offBefore {
+		if c.Offsets[i] != offBefore[i] {
+			t.Fatalf("old epoch offsets mutated at %d", i)
+		}
+	}
+}
+
+// Random mutation streams across all four (directed × weighted)
+// shapes: after every batch the MutableCSR must be byte-equal to a
+// from-scratch BuildCSR over the model's post-batch edge set, and the
+// reported row sets must nest (DegChanged ⊆ StructRows ⊆ DirtyRows).
+func TestMutableCSRRandomStreamsMatchRebuild(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		for _, weighted := range []bool{false, true} {
+			for seed := uint64(1); seed <= 8; seed++ {
+				el := randomEdgeList(seed, 48, 192, weighted)
+				el.Directed = directed
+				c := buildNormalized(el)
+				mc := NewMutableCSR(c, directed)
+				model := newMutModelFromCSR(c, directed)
+				r := xrand.New(seed ^ 0xfeed)
+				for batchIdx := 0; batchIdx < 6; batchIdx++ {
+					b := randomBatch(r, 48, 24, weighted)
+					res, err := mc.Apply(b)
+					if err != nil {
+						t.Fatalf("directed=%v weighted=%v seed=%d batch=%d: %v", directed, weighted, seed, batchIdx, err)
+					}
+					model.apply(b)
+					want := model.rebuild()
+					if !csrEqual(mc.CSR(), want) {
+						t.Fatalf("directed=%v weighted=%v seed=%d batch=%d: MutableCSR diverges from rebuild", directed, weighted, seed, batchIdx)
+					}
+					checkRowSets(t, res)
+				}
+			}
+		}
+	}
+}
+
+func randomBatch(r *xrand.RNG, n, ops int, weighted bool) Batch {
+	b := make(Batch, 0, ops)
+	for i := 0; i < ops; i++ {
+		mu := Mutation{Src: VID(r.Intn(n)), Dst: VID(r.Intn(n))}
+		if r.Intn(3) == 0 {
+			mu.Op = MutDelete
+		} else {
+			mu.Op = MutInsert
+			if weighted {
+				mu.W = float32(r.Intn(100)+1) / 100
+			}
+		}
+		b = append(b, mu)
+	}
+	return b
+}
+
+func checkRowSets(t *testing.T, res *ApplyResult) {
+	t.Helper()
+	inDirty := make(map[VID]bool, len(res.DirtyRows))
+	for _, v := range res.DirtyRows {
+		inDirty[v] = true
+	}
+	inStruct := make(map[VID]bool, len(res.StructRows))
+	for _, v := range res.StructRows {
+		if !inDirty[v] {
+			t.Fatalf("StructRows %d not in DirtyRows", v)
+		}
+		inStruct[v] = true
+	}
+	for _, v := range res.DegChanged {
+		if !inStruct[v] {
+			t.Fatalf("DegChanged %d not in StructRows", v)
+		}
+	}
+	for _, set := range [][]VID{res.DirtyRows, res.StructRows, res.DegChanged} {
+		if !sort.SliceIsSorted(set, func(i, j int) bool { return set[i] < set[j] }) {
+			t.Fatalf("row set not ascending: %v", set)
+		}
+	}
+	for _, edges := range [][]Edge{res.AddedEdges, res.RemovedEdges} {
+		if !sort.SliceIsSorted(edges, func(i, j int) bool {
+			if edges[i].Src != edges[j].Src {
+				return edges[i].Src < edges[j].Src
+			}
+			return edges[i].Dst < edges[j].Dst
+		}) {
+			t.Fatalf("net edge list not (src,dst)-sorted")
+		}
+	}
+}
+
+// FuzzMutationEquivalence is the mutation conformance wall: an
+// arbitrary batch stream applied through MutableCSR must stay
+// byte-equal to rebuilding the CSR from scratch over the logical edge
+// set after every flush, on every (directed × weighted) shape.
+func FuzzMutationEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint16(40), uint16(160), uint8(0), []byte{0, 1, 2, 50, 1, 2, 3, 0, 0xff, 0, 0, 0, 1, 1, 2, 0})
+	f.Add(uint64(2), uint16(16), uint16(64), uint8(1), []byte{0, 5, 5, 10, 0, 5, 6, 10, 0, 5, 6, 5})
+	f.Add(uint64(3), uint16(64), uint16(300), uint8(2), []byte{1, 0, 1, 0, 0, 0, 1, 99, 0xff, 9, 9, 9, 0, 1, 0, 30})
+	f.Add(uint64(4), uint16(8), uint16(0), uint8(3), []byte{0, 1, 2, 77, 0, 2, 1, 33, 1, 1, 2, 0})
+	f.Fuzz(func(t *testing.T, seed uint64, nSeed, mSeed uint16, shape uint8, ops []byte) {
+		n := int(nSeed)%128 + 2
+		m := int(mSeed) % 1024
+		directed := shape&1 != 0
+		weighted := shape&2 != 0
+		el := randomEdgeList(seed, n, m, weighted)
+		el.Directed = directed
+		c := buildNormalized(el)
+		mc := NewMutableCSR(c, directed)
+		model := newMutModelFromCSR(c, directed)
+
+		var batch Batch
+		flush := func() {
+			res, err := mc.Apply(batch)
+			if err != nil {
+				t.Fatalf("Apply: %v", err)
+			}
+			model.apply(batch)
+			if !csrEqual(mc.CSR(), model.rebuild()) {
+				t.Fatalf("stream diverges from rebuild-from-scratch (n=%d directed=%v weighted=%v, %d ops)", n, directed, weighted, len(batch))
+			}
+			checkRowSets(t, res)
+			batch = batch[:0]
+		}
+		for i := 0; i+4 <= len(ops) && len(batch) < 512; i += 4 {
+			if ops[i] == 0xff {
+				flush()
+				continue
+			}
+			mu := Mutation{Src: VID(int(ops[i+1]) % n), Dst: VID(int(ops[i+2]) % n)}
+			if ops[i]&1 == 0 {
+				mu.Op = MutInsert
+				if weighted {
+					mu.W = float32(int(ops[i+3])%100+1) / 100
+				}
+			} else {
+				mu.Op = MutDelete
+			}
+			batch = append(batch, mu)
+		}
+		flush()
+	})
+}

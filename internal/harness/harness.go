@@ -108,45 +108,11 @@ func (r *Runner) Run(spec core.Spec, el *graph.EdgeList) ([]core.Result, error) 
 	return results, nil
 }
 
-// runEngine executes all roots of one engine. owner is the per-vertex
-// cluster owner table (nil for 1D/blocked or single-box specs).
-func (r *Runner) runEngine(spec core.Spec, el *graph.EdgeList, name string, roots []graph.VID, owner []int16) ([]core.Result, error) {
-	eng, err := r.Registry.New(name)
-	if err != nil {
-		return nil, err
-	}
-	if spec.SyncSSSP {
-		if s, ok := eng.(engines.SyncSSSPSetter); ok {
-			s.SetSyncSSSP(true)
-		} else {
-			// Not silently: a spec that asked for the synchronous
-			// variant and got the default would mislabel its results.
-			logfmt.EmitKnobWarning(r.Warnings, name, "sync-sssp")
-		}
-	}
-	if spec.Compress {
-		// Before Load: the compressed adjacency is built during the
-		// construction phase.
-		if s, ok := eng.(engines.CompressSetter); ok {
-			s.SetCompress(true)
-		} else {
-			// Engines without a compressed path keep their raw
-			// structures; say so instead of quietly measuring the
-			// uncompressed layout under a "compressed" label.
-			logfmt.EmitKnobWarning(r.Warnings, name, "compress")
-		}
-	}
-	// The DVFS operating point scales the machine model (core clocks)
-	// and the power calibration (CPU-plane dynamic constants) as a
-	// pair: modeled seconds and joules move together, the way a real
-	// governor change shifts both sides of the energy-delay trade.
-	model, pconsts := r.Model, r.Power
-	freq, err := power.FreqStateByName(spec.FreqState)
-	if err != nil {
-		return nil, err
-	}
-	model = freq.ScaleModel(model)
-	pconsts = freq.ScaleConstants(pconsts)
+// specMachine builds a simmachine configured by the spec's execution
+// knobs on the given (already frequency-scaled) model. The stream
+// phase uses it a second time to cost the displaced full recompute on
+// an identically-configured fresh machine.
+func specMachine(spec core.Spec, model simmachine.Model, owner []int16) *simmachine.Machine {
 	m := simmachine.New(model, spec.Threads)
 	if spec.Workers > 0 {
 		m.SetWorkers(spec.Workers)
@@ -176,6 +142,48 @@ func (r *Runner) runEngine(spec core.Spec, el *graph.EdgeList, name string, root
 	if spec.Nodes > 1 {
 		m.SetCluster(spec.Nodes, owner)
 	}
+	return m
+}
+
+// runEngine executes all roots of one engine. owner is the per-vertex
+// cluster owner table (nil for 1D/blocked or single-box specs).
+func (r *Runner) runEngine(spec core.Spec, el *graph.EdgeList, name string, roots []graph.VID, owner []int16) ([]core.Result, error) {
+	eng, err := r.Registry.New(name)
+	if err != nil {
+		return nil, err
+	}
+	// One Configure call wires every optional capability the spec asks
+	// for (Compress must land before Load: the compressed adjacency is
+	// built during the construction phase). Dropped knobs are surfaced,
+	// not silent — a spec that asked for the synchronous variant, the
+	// compressed layout, or a streaming phase and got the default would
+	// mislabel its results.
+	applied := engines.Configure(eng, engines.Options{
+		SyncSSSP:  spec.SyncSSSP,
+		Compress:  spec.Compress,
+		Mutations: spec.Mutations != nil,
+	})
+	if spec.SyncSSSP && !applied.SyncSSSP {
+		logfmt.EmitKnobWarning(r.Warnings, name, "sync-sssp")
+	}
+	if spec.Compress && !applied.Compress {
+		logfmt.EmitKnobWarning(r.Warnings, name, "compress")
+	}
+	if spec.Mutations != nil && !applied.Mutations {
+		logfmt.EmitKnobWarning(r.Warnings, name, "mutations")
+	}
+	// The DVFS operating point scales the machine model (core clocks)
+	// and the power calibration (CPU-plane dynamic constants) as a
+	// pair: modeled seconds and joules move together, the way a real
+	// governor change shifts both sides of the energy-delay trade.
+	model, pconsts := r.Model, r.Power
+	freq, err := power.FreqStateByName(spec.FreqState)
+	if err != nil {
+		return nil, err
+	}
+	model = freq.ScaleModel(model)
+	pconsts = freq.ScaleConstants(pconsts)
+	m := specMachine(spec, model, owner)
 
 	var fileReadSec, constructionSec float64
 	if eng.SeparateConstruction() {
@@ -263,6 +271,18 @@ func (r *Runner) runEngine(spec core.Spec, el *graph.EdgeList, name string, root
 			return nil, err
 		}
 		results = append(results, res)
+	}
+	// Streaming phase: batched mutations with incremental maintenance,
+	// conformance-checked against full recomputes. Engines without the
+	// Streamer hook were warned about above and simply skip the phase.
+	if spec.Mutations != nil {
+		if st, ok := inst.(engines.Streamer); ok {
+			srs, err := r.runStream(spec, el, name, st, m, model, owner)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, srs...)
+		}
 	}
 	return results, nil
 }

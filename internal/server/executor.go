@@ -38,17 +38,21 @@ type executor struct {
 	m        *simmachine.Machine
 	inst     engines.Instance
 	canceler engines.CancelSetter
-	csr      *graph.CSR // homogenized, shared read-only across executors
+	streamer engines.Streamer
+	// csr is the adjacency the serving-only paths (k-hop) traverse.
+	// It starts as the shared homogenized CSR and is rebound to the
+	// instance's current epoch after each applied mutation batch.
+	csr      *graph.CSR
 	weighted bool
+	// gen counts the server batch-log entries this executor's instance
+	// has applied; executors sync lazily when they dequeue work.
+	gen int
 }
 
 // newExecutor loads el into a fresh GAP instance on its own machine.
 func newExecutor(id int, el *graph.EdgeList, csr *graph.CSR, threads int, compress bool) (*executor, error) {
 	eng := gap.New()
-	eng.SetSyncSSSP(true)
-	if compress {
-		eng.SetCompress(true)
-	}
+	engines.Configure(eng, engines.Options{SyncSSSP: true, Compress: compress})
 	m := simmachine.New(simmachine.Haswell72(), threads)
 	inst, err := eng.Load(el, m)
 	if err != nil {
@@ -59,14 +63,28 @@ func newExecutor(id int, el *graph.EdgeList, csr *graph.CSR, threads int, compre
 	if !ok {
 		return nil, fmt.Errorf("server: engine instance lacks cancellation support")
 	}
+	streamer, ok := inst.(engines.Streamer)
+	if !ok {
+		return nil, fmt.Errorf("server: engine instance lacks streaming-mutation support")
+	}
 	return &executor{
 		id:       id,
 		m:        m,
 		inst:     inst,
 		canceler: canceler,
+		streamer: streamer,
 		csr:      csr,
 		weighted: el.Weighted,
 	}, nil
+}
+
+// outCSR returns the instance's current adjacency epoch, for rebinding
+// e.csr after mutations.
+func (e *executor) outCSR() *graph.CSR {
+	if gi, ok := e.inst.(*gap.Instance); ok {
+		return gi.OutCSR()
+	}
+	return e.csr
 }
 
 // vectors are the precomputed, refreshable lookup answers.
@@ -75,15 +93,19 @@ type vectors struct {
 	wcc []graph.VID
 }
 
-// computeVectors runs PageRank and WCC on this executor's instance.
-// Startup/refresh work: charged to the machine like any kernel, but
-// never part of a query's budget.
+// computeVectors (re)derives the PR/WCC vectors on this executor's
+// instance through the incremental maintainers: the first call records
+// a full baseline, later calls re-converge only from the mutations
+// applied since — bit-equal to a full recompute either way, but a
+// refresh or mutate swap never re-pays structure construction.
+// Startup/refresh/mutate work: charged to the machine like any kernel,
+// but never part of a query's budget.
 func (e *executor) computeVectors() (vectors, error) {
-	pr, err := e.inst.PageRank(engines.DefaultPROpts())
+	pr, err := e.streamer.IncrementalPageRank(engines.DefaultPROpts())
 	if err != nil {
 		return vectors{}, fmt.Errorf("server: pagerank precompute: %w", err)
 	}
-	wcc, err := e.inst.WCC()
+	wcc, err := e.streamer.IncrementalWCC()
 	if err != nil {
 		return vectors{}, fmt.Errorf("server: wcc precompute: %w", err)
 	}

@@ -2,30 +2,65 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strconv"
 
 	"github.com/hpcl-repro/epg/internal/graph"
 )
 
-// Handler returns the daemon's HTTP API:
+// Handler returns the daemon's HTTP API, versioned under /v1:
 //
-//	GET  /query?op=bfs&src=3&dst=9[&k=2][&deadline_ms=50]
-//	GET  /metrics
-//	GET  /healthz
-//	POST /refresh
+//	GET  /v1/query?op=bfs&src=3&dst=9[&k=2][&deadline_ms=50]
+//	GET  /v1/metrics
+//	GET  /v1/healthz
+//	POST /v1/refresh
+//	POST /v1/mutate      {"ops":[{"op":"insert","src":1,"dst":2,"w":0.5}, ...]}
+//
+// The unversioned paths (/query, /metrics, /healthz, /refresh,
+// /mutate) are aliases for compatibility with pre-v1 clients.
 //
 // Status mapping: 200 served (including degraded answers — check the
-// "degraded" field), 400 invalid query, 429 shed by admission
-// (Retry-After: 1), 500 recovered panic or engine error, 504 deadline
-// budget exhausted.
+// "degraded" field); every non-200 carries a structured error body
+// {"code","message","retry_after_ms"}: 400 invalid_query, 405
+// method_not_allowed, 429 shed (Retry-After header and retry_after_ms
+// agree), 500 panic or engine_error, 503 closed, 504 deadline.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/refresh", s.handleRefresh)
+	routes := map[string]http.HandlerFunc{
+		"/query":   s.handleQuery,
+		"/metrics": s.handleMetrics,
+		"/healthz": s.handleHealthz,
+		"/refresh": s.handleRefresh,
+		"/mutate":  s.handleMutate,
+	}
+	for path, h := range routes {
+		mux.HandleFunc("/v1"+path, h)
+		mux.HandleFunc(path, h) // legacy alias
+	}
 	return mux
+}
+
+// API error codes (the "code" field of non-200 bodies).
+const (
+	codeInvalidQuery     = "invalid_query"
+	codeShed             = "shed"
+	codeDeadline         = "deadline"
+	codePanic            = "panic"
+	codeEngineError      = "engine_error"
+	codeClosed           = "closed"
+	codeMethodNotAllowed = "method_not_allowed"
+)
+
+// shedRetryAfterMS is the backoff hint on 429 responses; the
+// Retry-After header is the same value in (integer) seconds.
+const shedRetryAfterMS = 1000
+
+// apiError is the structured body of every non-200 response.
+type apiError struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMS int    `json:"retry_after_ms,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -34,37 +69,47 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// writeError emits a non-200 with the structured error body; sheds
+// also carry the Retry-After header, agreeing with the body's hint.
+func writeError(w http.ResponseWriter, httpCode int, code, message string) {
+	e := apiError{Code: code, Message: message}
+	if code == codeShed {
+		e.RetryAfterMS = shedRetryAfterMS
+		w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfterMS/1000))
+	}
+	writeJSON(w, httpCode, e)
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"err": "GET only"})
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "GET only")
 		return
 	}
 	q, err := parseQueryParams(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"err": err.Error()})
+		writeError(w, http.StatusBadRequest, codeInvalidQuery, err.Error())
 		return
 	}
 	resp := s.Submit(r.Context(), q)
-	code := http.StatusOK
 	switch resp.Status {
 	case StatusShed:
-		w.Header().Set("Retry-After", "1")
-		code = http.StatusTooManyRequests
+		writeError(w, http.StatusTooManyRequests, codeShed, resp.Err)
 	case StatusDeadline:
-		code = http.StatusGatewayTimeout
+		writeError(w, http.StatusGatewayTimeout, codeDeadline, resp.Err)
 	case StatusPanic:
-		code = http.StatusInternalServerError
+		writeError(w, http.StatusInternalServerError, codePanic, resp.Err)
 	case StatusError:
 		// Validation errors are the client's; engine errors ours.
 		if s.closed.Load() {
-			code = http.StatusServiceUnavailable
+			writeError(w, http.StatusServiceUnavailable, codeClosed, resp.Err)
 		} else if resp.ModeledSec == 0 {
-			code = http.StatusBadRequest
+			writeError(w, http.StatusBadRequest, codeInvalidQuery, resp.Err)
 		} else {
-			code = http.StatusInternalServerError
+			writeError(w, http.StatusInternalServerError, codeEngineError, resp.Err)
 		}
+	default:
+		writeJSON(w, http.StatusOK, resp)
 	}
-	writeJSON(w, code, resp)
 }
 
 func parseQueryParams(r *http.Request) (Query, error) {
@@ -118,14 +163,88 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// maintenanceError maps Refresh/Mutate errors onto the API error
+// vocabulary.
+func maintenanceError(w http.ResponseWriter, err error, clientSide bool) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		writeError(w, http.StatusTooManyRequests, codeShed, err.Error())
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, codeClosed, err.Error())
+	case clientSide:
+		writeError(w, http.StatusBadRequest, codeInvalidQuery, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, codeEngineError, err.Error())
+	}
+}
+
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"err": "POST only"})
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST only")
 		return
 	}
 	if err := s.Refresh(r.Context()); err != nil {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"err": err.Error()})
+		maintenanceError(w, err, false)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"sketch_gen": s.SketchGeneration(),
+	})
+}
+
+// mutateOp is one wire-format mutation.
+type mutateOp struct {
+	Op  string  `json:"op"` // "insert" or "delete"
+	Src uint32  `json:"src"`
+	Dst uint32  `json:"dst"`
+	W   float32 `json:"w,omitempty"`
+}
+
+// mutateRequest is the POST /v1/mutate body.
+type mutateRequest struct {
+	Ops []mutateOp `json:"ops"`
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST only")
+		return
+	}
+	var req mutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidQuery, "bad mutate body: "+err.Error())
+		return
+	}
+	batch := make(graph.Batch, 0, len(req.Ops))
+	for i, op := range req.Ops {
+		mu := graph.Mutation{Src: graph.VID(op.Src), Dst: graph.VID(op.Dst), W: op.W}
+		switch op.Op {
+		case "insert":
+			mu.Op = graph.MutInsert
+		case "delete":
+			mu.Op = graph.MutDelete
+		default:
+			writeError(w, http.StatusBadRequest, codeInvalidQuery,
+				"op "+strconv.Itoa(i)+": unknown kind "+strconv.Quote(op.Op))
+			return
+		}
+		batch = append(batch, mu)
+	}
+	rep, err := s.Mutate(r.Context(), batch)
+	if err != nil {
+		maintenanceError(w, err, errors.Is(err, ErrInvalidBatch))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":          "ok",
+		"inserted":        rep.Stats.Inserted,
+		"deleted":         rep.Stats.Deleted,
+		"dup_inserts":     rep.Stats.DupInserts,
+		"missing_deletes": rep.Stats.MissingDeletes,
+		"self_loops":      rep.Stats.SelfLoops,
+		"dirty_rows":      rep.DirtyRows,
+		"edges_touched":   rep.EdgesTouched,
+		"sketch_gen":      s.SketchGeneration(),
+	})
 }

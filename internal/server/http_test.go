@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -84,19 +85,49 @@ func TestHTTPValidation(t *testing.T) {
 
 func TestHTTPDeadline504(t *testing.T) {
 	_, ts := startHTTP(t, Config{Executors: 1})
-	var r Response
-	code := getJSON(t, ts.URL+"/query?op=bfs&src=0&dst=1&deadline_ms=0.000001", &r)
-	if code != 504 || r.Status != StatusDeadline {
-		t.Fatalf("tiny deadline: HTTP %d status %q, want 504 deadline", code, r.Status)
+	var e apiError
+	code := getJSON(t, ts.URL+"/query?op=bfs&src=0&dst=1&deadline_ms=0.000001", &e)
+	if code != 504 || e.Code != codeDeadline {
+		t.Fatalf("tiny deadline: HTTP %d code %q, want 504 %q", code, e.Code, codeDeadline)
+	}
+	if e.Message == "" {
+		t.Error("504 without message")
 	}
 }
 
 func TestHTTPPanic500(t *testing.T) {
 	_, ts := startHTTP(t, Config{Executors: 1, FaultInjection: true})
-	var r Response
-	code := getJSON(t, ts.URL+"/query?op=panic", &r)
-	if code != 500 || r.Status != StatusPanic {
-		t.Fatalf("injected panic: HTTP %d status %q, want 500 panic", code, r.Status)
+	var e apiError
+	code := getJSON(t, ts.URL+"/query?op=panic", &e)
+	if code != 500 || e.Code != codePanic {
+		t.Fatalf("injected panic: HTTP %d code %q, want 500 %q", code, e.Code, codePanic)
+	}
+}
+
+// Every endpoint answers identically on its /v1 path and its legacy
+// alias, and non-200s carry the structured error body on both.
+func TestHTTPV1Aliases(t *testing.T) {
+	_, ts := startHTTP(t, Config{Executors: 1})
+	for _, prefix := range []string{"", "/v1"} {
+		if code := getJSON(t, ts.URL+prefix+"/query?op=pr&src=1", nil); code != 200 {
+			t.Errorf("%s/query: HTTP %d", prefix, code)
+		}
+		if code := getJSON(t, ts.URL+prefix+"/healthz", nil); code != 200 {
+			t.Errorf("%s/healthz: HTTP %d", prefix, code)
+		}
+		if code := getJSON(t, ts.URL+prefix+"/metrics", nil); code != 200 {
+			t.Errorf("%s/metrics: HTTP %d", prefix, code)
+		}
+		var e apiError
+		if code := getJSON(t, ts.URL+prefix+"/query?op=nope&src=0", &e); code != 400 || e.Code != codeInvalidQuery {
+			t.Errorf("%s/query bad op: HTTP %d code %q, want 400 %q", prefix, code, e.Code, codeInvalidQuery)
+		}
+		if code := getJSON(t, ts.URL+prefix+"/refresh", &e); code != 405 || e.Code != codeMethodNotAllowed {
+			t.Errorf("GET %s/refresh: HTTP %d code %q, want 405 %q", prefix, code, e.Code, codeMethodNotAllowed)
+		}
+		if code := getJSON(t, ts.URL+prefix+"/mutate", &e); code != 405 || e.Code != codeMethodNotAllowed {
+			t.Errorf("GET %s/mutate: HTTP %d code %q, want 405 %q", prefix, code, e.Code, codeMethodNotAllowed)
+		}
 	}
 }
 
@@ -161,8 +192,17 @@ func TestHTTPShed429(t *testing.T) {
 	if resp.StatusCode != 429 {
 		t.Fatalf("flooded query: HTTP %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Error("429 without Retry-After header")
+	// The Retry-After header and the structured body's hint must agree
+	// (header in whole seconds, body in milliseconds).
+	var e apiError
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != codeShed || e.RetryAfterMS != shedRetryAfterMS {
+		t.Errorf("429 body %+v, want code %q retry_after_ms %d", e, codeShed, shedRetryAfterMS)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != strconv.Itoa(shedRetryAfterMS/1000) {
+		t.Errorf("Retry-After header %q disagrees with body hint %dms", ra, shedRetryAfterMS)
 	}
 	<-wedged
 	<-fill

@@ -1,0 +1,329 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/hpcl-repro/epg/internal/graph"
+)
+
+// postJSON posts a JSON body and decodes the response.
+func postJSON(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// testBatch deletes one present edge and inserts two absent ones.
+func testBatch(t *testing.T, s *Server) graph.Batch {
+	t.Helper()
+	c := s.csr
+	var v0 graph.VID
+	for int(v0) < c.NumVertices && c.Degree(v0) == 0 {
+		v0++
+	}
+	if int(v0) == c.NumVertices {
+		t.Fatal("empty graph")
+	}
+	n := graph.VID(c.NumVertices)
+	pick := func(start graph.VID) graph.VID {
+		for u := start; ; u = (u + 1) % n {
+			if u != v0 && !c.HasEdge(v0, u) {
+				return u
+			}
+		}
+	}
+	a := pick(v0 + 1)
+	b := pick(a + 1)
+	return graph.Batch{
+		{Op: graph.MutDelete, Src: v0, Dst: c.Neighbors(v0)[0]},
+		{Op: graph.MutInsert, Src: v0, Dst: a, W: 0.5},
+		{Op: graph.MutInsert, Src: v0, Dst: b, W: 0.25},
+	}
+}
+
+// After a mutate, every query kind must answer exactly as a server
+// freshly built on the post-batch graph would.
+func TestMutateAnswersMatchFreshServer(t *testing.T) {
+	s := startServer(t, Config{Executors: 2})
+	batch := testBatch(t, s)
+	ctx := context.Background()
+	rep, err := s.Mutate(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Deleted != 1 || rep.Stats.Inserted != 2 {
+		t.Fatalf("batch stats %+v", rep.Stats)
+	}
+	if s.SketchGeneration() != 2 {
+		t.Fatalf("sketch generation %d after mutate, want 2", s.SketchGeneration())
+	}
+
+	// Reference: a server started directly on the post-batch edge list.
+	shadow := graph.NewMutableCSR(s.csr, s.el.Directed)
+	if _, err := shadow.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	post := shadow.CSR()
+	postEL := &graph.EdgeList{NumVertices: post.NumVertices, Weighted: post.Weights != nil, Directed: s.el.Directed}
+	for v := 0; v < post.NumVertices; v++ {
+		ws := post.NeighborWeights(graph.VID(v))
+		for i, u := range post.Neighbors(graph.VID(v)) {
+			if !s.el.Directed && u < graph.VID(v) {
+				continue
+			}
+			e := graph.Edge{Src: graph.VID(v), Dst: u}
+			if ws != nil {
+				e.W = ws[i]
+			}
+			postEL.Edges = append(postEL.Edges, e)
+		}
+	}
+	ref, err := NewFromEdgeList(postEL, Config{Executors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	for _, q := range []Query{
+		{Op: OpPR, Source: 3},
+		{Op: OpPR, Source: 0},
+		{Op: OpWCC, Source: 0, Target: 9},
+		{Op: OpBFS, Source: 0, Target: 9},
+		{Op: OpSSSP, Source: 0, Target: 9},
+		{Op: OpKHop, Source: 0, K: 2},
+	} {
+		got := s.Submit(ctx, q)
+		want := ref.Submit(ctx, q)
+		if got.Status != StatusOK || want.Status != StatusOK {
+			t.Fatalf("%s: status %q / %q", q.Op, got.Status, want.Status)
+		}
+		if got.Value != want.Value {
+			t.Errorf("%s src=%d dst=%d: mutated server answers %v, fresh server %v",
+				q.Op, q.Source, q.Target, got.Value, want.Value)
+		}
+	}
+}
+
+// Queries racing a live mutate are never dropped: every response is a
+// legitimate outcome (no errors), and the server stays consistent.
+func TestMutateDoesNotDropConcurrentQueries(t *testing.T) {
+	s := startServer(t, Config{Executors: 2, Admit: AdmitConfig{QueueCap: 256}})
+	batch := testBatch(t, s)
+	ctx := context.Background()
+	const queries = 60
+	var wg sync.WaitGroup
+	errs := make(chan string, queries)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Mutate(ctx, batch); err != nil {
+			errs <- "mutate: " + err.Error()
+		}
+	}()
+	for i := 0; i < queries; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := Query{Op: OpPR, Source: graph.VID(i % s.NumVertices())}
+			if i%3 == 0 {
+				q = Query{Op: OpBFS, Source: graph.VID(i % s.NumVertices()), Target: 1}
+			}
+			resp := s.Submit(ctx, q)
+			if resp.Status != StatusOK {
+				errs <- string(q.Op) + ": " + string(resp.Status) + " " + resp.Err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	m := s.Metrics()
+	if got := m.Completed + m.DeadlineExceeded + m.Errors + m.Panics; got != m.Admitted {
+		t.Errorf("outcome identity broken: %d outcomes, %d admitted", got, m.Admitted)
+	}
+}
+
+// The HTTP mutate endpoint: applies a batch, reports stats, bumps the
+// sketch generation; malformed bodies and batches are the client's 400.
+func TestHTTPMutate(t *testing.T) {
+	s, ts := startHTTP(t, Config{Executors: 1})
+	var ops []map[string]any
+	for _, mu := range testBatch(t, s) {
+		kind := "insert"
+		if mu.Op == graph.MutDelete {
+			kind = "delete"
+		}
+		ops = append(ops, map[string]any{
+			"op": kind, "src": int(mu.Src), "dst": int(mu.Dst), "w": mu.W,
+		})
+	}
+	var out struct {
+		Status    string `json:"status"`
+		Inserted  int    `json:"inserted"`
+		Deleted   int    `json:"deleted"`
+		SketchGen uint64 `json:"sketch_gen"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/mutate", map[string]any{"ops": ops}, &out); code != 200 {
+		t.Fatalf("mutate: HTTP %d", code)
+	}
+	if out.Status != "ok" || out.Inserted != 2 || out.Deleted != 1 || out.SketchGen != 2 {
+		t.Fatalf("mutate response %+v", out)
+	}
+
+	var e apiError
+	if code := postJSON(t, ts.URL+"/v1/mutate", map[string]any{"ops": []map[string]any{
+		{"op": "teleport", "src": 0, "dst": 1},
+	}}, &e); code != 400 || e.Code != codeInvalidQuery {
+		t.Fatalf("unknown op kind: HTTP %d code %q", code, e.Code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/mutate", map[string]any{"ops": []map[string]any{
+		{"op": "insert", "src": 0, "dst": 99999999},
+	}}, &e); code != 400 || e.Code != codeInvalidQuery {
+		t.Fatalf("out-of-range mutation: HTTP %d code %q", code, e.Code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/mutate", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad body: HTTP %d", resp.StatusCode)
+	}
+}
+
+// A mutate arriving while the bounded queue is full is shed like any
+// other maintenance: 429 with agreeing Retry-After header and body.
+func TestHTTPMutateShed(t *testing.T) {
+	gate := make(chan struct{})
+	var once sync.Once
+	openGate := func() { once.Do(func() { close(gate) }) }
+	s, err := NewFromEdgeList(testEdgeList(t), Config{
+		Executors: 1,
+		Admit:     AdmitConfig{QueueCap: 1, DegradeWatermark: 1},
+		QueryLog:  &gateWriter{gate: gate},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	defer openGate()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	wedged := make(chan struct{})
+	go func() {
+		defer close(wedged)
+		if resp, err := http.Get(ts.URL + "/query?op=bfs&src=0&dst=1"); err == nil {
+			resp.Body.Close()
+		}
+	}()
+	waitUntil(t, func() bool { return s.Metrics().Admitted == 1 && s.QueueDepth() == 0 })
+	fill := make(chan struct{})
+	go func() {
+		defer close(fill)
+		if resp, err := http.Get(ts.URL + "/query?op=bfs&src=2&dst=1"); err == nil {
+			resp.Body.Close()
+		}
+	}()
+	waitUntil(t, func() bool { return s.Metrics().Admitted == 2 })
+
+	b, _ := json.Marshal(map[string]any{"ops": []map[string]any{{"op": "insert", "src": 0, "dst": 1, "w": 0.5}}})
+	resp, err := http.Post(ts.URL+"/v1/mutate", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 429 {
+		t.Fatalf("mutate on full queue: HTTP %d, want 429", resp.StatusCode)
+	}
+	var e apiError
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != codeShed || e.RetryAfterMS != shedRetryAfterMS {
+		t.Errorf("shed body %+v", e)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	openGate()
+	<-wedged
+	<-fill
+}
+
+// The incremental swap must not re-pay structure construction: the
+// modeled cost of a small mutate (apply + incremental PR/WCC + swap)
+// stays strictly below a fresh executor's build + full recompute.
+func TestMutateCheaperThanFullRecompute(t *testing.T) {
+	s := startServer(t, Config{Executors: 1})
+	e := s.execs[0]
+	batch := testBatch(t, s)
+	before := e.m.Elapsed()
+	if _, err := s.Mutate(context.Background(), batch); err != nil {
+		t.Fatal(err)
+	}
+	incCost := e.m.Elapsed() - before
+
+	// The displaced alternative: what startup paid to build structures
+	// and compute vectors from scratch (construction included).
+	ref, err := newExecutor(99, s.el, s.csr, s.cfg.Threads, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.computeVectors(); err != nil {
+		t.Fatal(err)
+	}
+	fullCost := ref.m.Elapsed()
+	if incCost >= fullCost {
+		t.Fatalf("incremental mutate swap (%v) not cheaper than build+recompute (%v)", incCost, fullCost)
+	}
+}
+
+// A refresh with no pending mutations swaps cached vectors: it must
+// not re-run the full kernels (the old behavior double-charged a full
+// PR+WCC on every refresh), only the sketch rebuild remains unmodeled.
+func TestRefreshDoesNotRecomputeWithoutMutations(t *testing.T) {
+	s := startServer(t, Config{Executors: 1})
+	e := s.execs[0]
+	before := e.m.Elapsed()
+	if err := s.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if after := e.m.Elapsed(); after != before {
+		t.Fatalf("no-op refresh moved the executor's modeled clock: %v -> %v", before, after)
+	}
+	if s.SketchGeneration() != 2 {
+		t.Fatalf("refresh did not bump sketch generation: %d", s.SketchGeneration())
+	}
+}
+
+// Closed servers reject mutates with the typed error.
+func TestMutateClosed(t *testing.T) {
+	s := startServer(t, Config{Executors: 1})
+	s.Close()
+	if _, err := s.Mutate(context.Background(), graph.Batch{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("mutate after close: %v", err)
+	}
+}

@@ -2,12 +2,14 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/hpcl-repro/epg/internal/engines"
 	"github.com/hpcl-repro/epg/internal/graph"
 	"github.com/hpcl-repro/epg/internal/harness"
 	"github.com/hpcl-repro/epg/internal/logfmt"
@@ -72,8 +74,15 @@ type pending struct {
 	budget   float64
 	degraded bool
 	refresh  bool
-	depth    int // queue depth observed at admission, for the log
-	resC     chan Response
+	// mutate, when non-nil, is a maintenance entry like refresh: the
+	// dequeuing executor applies the batch, re-converges the vectors
+	// incrementally, and swaps vectors+sketch+log in one critical
+	// section. mutRep is written by the executor before it responds
+	// (the resC receive orders the read).
+	mutate graph.Batch
+	mutRep *engines.MutationReport
+	depth  int // queue depth observed at admission, for the log
+	resC   chan Response
 }
 
 // Server is a running daemon instance (transport-agnostic; see
@@ -84,14 +93,19 @@ type Server struct {
 	csr   *graph.CSR
 	execs []*executor
 
-	// vecMu guards the precomputed state a refresh swaps: the PR/WCC
-	// vectors AND the degradation sketch (plus its generation counter —
-	// monotone, bumped by every successful refresh, so tests can prove
-	// degraded answers come from the rebuilt sketch, not a stale one).
+	// vecMu guards the precomputed state a refresh or mutate swaps: the
+	// PR/WCC vectors AND the degradation sketch (plus its generation
+	// counter — monotone, bumped by every successful refresh/mutate, so
+	// tests can prove degraded answers come from the rebuilt sketch,
+	// not a stale one), plus the append-only mutation batch log and the
+	// current homogenized adjacency epoch. Executors replay the log
+	// lazily when they dequeue, so every query is served on a graph at
+	// least as new as the last acknowledged mutation.
 	vecMu     sync.RWMutex
 	vec       vectors
 	sketch    *Sketch
 	sketchGen uint64
+	batches   []graph.Batch
 
 	admit   *admitter
 	queue   chan *pending
@@ -232,33 +246,23 @@ func (s *Server) serveLoop(e *executor) {
 func (s *Server) serveOne(e *executor, p *pending) {
 	s.admit.release()
 	var resp Response
-	if p.refresh {
-		vec, err := e.computeVectors()
-		if err != nil {
-			resp = Response{Status: StatusError, Err: err.Error()}
-		} else {
-			// The degradation sketch is precomputation too: a refresh
-			// that swapped the vectors but kept the old sketch would
-			// keep serving degraded answers from stale state. Rebuild
-			// it and swap everything in one critical section.
-			sketch := BuildSketch(s.csr, s.cfg.Landmarks)
-			s.vecMu.Lock()
-			s.vec = vec
-			s.sketch = sketch
-			s.sketchGen++
-			s.vecMu.Unlock()
-			resp = Response{Status: StatusOK}
-		}
-	} else {
-		vec, sketch := s.snapshot()
-		resp = e.run(p.ctx, p.q, p.budget, p.degraded, vec, sketch)
-	}
-	if p.refresh {
-		// Refreshes hold a queue slot but are not queries: keeping them
+	if p.refresh || p.mutate != nil {
+		resp = s.maintainOn(e, p)
+		// Maintenance holds a queue slot but is not a query: keeping it
 		// out of the outcome counters preserves the exact identity
 		// completed+deadline+errors+panics == admitted.
 		p.resC <- resp
 		return
+	}
+	// Catch this executor's resident graph up with the acknowledged
+	// mutation log before serving, so a query admitted after a mutate
+	// completed never reads a pre-mutation structure.
+	if err := s.syncExecutor(e); err != nil {
+		resp = Response{Op: p.q.Op, Source: p.q.Source, Target: p.q.Target,
+			Status: StatusError, Err: err.Error()}
+	} else {
+		vec, sketch := s.snapshot()
+		resp = e.run(p.ctx, p.q, p.budget, p.degraded, vec, sketch)
 	}
 	switch resp.Status {
 	case StatusOK:
@@ -309,6 +313,71 @@ func (s *Server) logShed(seq int64, q Query, status Status, depth int) {
 		Status: string(status),
 		Depth:  depth,
 	})
+}
+
+// syncExecutor replays any acknowledged mutation batches this
+// executor's instance has not applied yet and rebinds its adjacency
+// epoch. The log is append-only and e.gen is only touched by e's own
+// serve goroutine, so a read-locked snapshot of the tail is safe.
+func (s *Server) syncExecutor(e *executor) error {
+	s.vecMu.RLock()
+	var todo []graph.Batch
+	if e.gen < len(s.batches) {
+		todo = s.batches[e.gen:]
+	}
+	s.vecMu.RUnlock()
+	if len(todo) == 0 {
+		return nil
+	}
+	for _, b := range todo {
+		if _, err := e.streamer.Mutate(b); err != nil {
+			return fmt.Errorf("server: executor %d sync: %w", e.id, err)
+		}
+		e.gen++
+	}
+	e.csr = e.outCSR()
+	return nil
+}
+
+// maintainOn executes a refresh or mutate entry on the dequeuing
+// executor: sync the instance, apply the new batch (mutate only),
+// re-converge the vectors incrementally, rebuild the degradation
+// sketch on the post-batch adjacency, and swap vectors + sketch + log
+// in one critical section. Queries keep flowing on the other
+// executors throughout; they observe the new state atomically.
+func (s *Server) maintainOn(e *executor, p *pending) Response {
+	if err := s.syncExecutor(e); err != nil {
+		return Response{Status: StatusError, Err: err.Error()}
+	}
+	if p.mutate != nil {
+		rep, err := e.streamer.Mutate(p.mutate)
+		if err != nil {
+			// Validation failed atomically: the instance is unchanged
+			// and the batch is not logged, so nothing diverges.
+			return Response{Status: StatusError, Err: err.Error()}
+		}
+		p.mutRep = rep
+		e.csr = e.outCSR()
+	}
+	vec, err := e.computeVectors()
+	if err != nil {
+		return Response{Status: StatusError, Err: err.Error()}
+	}
+	// The degradation sketch is precomputation too: a swap that
+	// replaced the vectors but kept the old sketch would keep serving
+	// degraded answers from stale state. Rebuild it on the current
+	// epoch and swap everything in one critical section.
+	sketch := BuildSketch(e.csr, s.cfg.Landmarks)
+	s.vecMu.Lock()
+	if p.mutate != nil {
+		s.batches = append(s.batches, p.mutate)
+		e.gen = len(s.batches)
+	}
+	s.vec = vec
+	s.sketch = sketch
+	s.sketchGen++
+	s.vecMu.Unlock()
+	return Response{Status: StatusOK}
 }
 
 // Submit runs one query through admission, the queue, and an
@@ -370,16 +439,30 @@ func (s *Server) Submit(ctx context.Context, q Query) Response {
 	}
 }
 
+// Sentinel errors for the maintenance entry points, so transports can
+// map them to distinct status codes.
+var (
+	// ErrClosed reports a server that no longer accepts work.
+	ErrClosed = errors.New("server closed")
+	// ErrOverloaded reports maintenance shed by the bounded queue.
+	ErrOverloaded = errors.New("server overloaded")
+	// ErrInvalidBatch wraps mutation-batch validation failures — the
+	// client's error, rejected before any queue slot is taken.
+	ErrInvalidBatch = errors.New("invalid mutation batch")
+)
+
 // Refresh recomputes the PR/WCC vectors on an executor, swapping them
 // in atomically. It shares the bounded queue (a refresh is heavy
 // executor work and must not bypass overload protection) but not the
-// token bucket.
+// token bucket. The recompute runs through the incremental
+// maintainers, so an up-to-date baseline swaps at near-zero modeled
+// cost instead of re-paying full kernel runs.
 func (s *Server) Refresh(ctx context.Context) error {
 	if s.closed.Load() {
-		return fmt.Errorf("server closed")
+		return ErrClosed
 	}
 	if !s.admit.tryReserve() {
-		return fmt.Errorf("server overloaded: refresh shed (queue full)")
+		return fmt.Errorf("%w: refresh shed (queue full)", ErrOverloaded)
 	}
 	p := &pending{ctx: ctx, refresh: true, seq: s.seq.Add(1), resC: make(chan Response, 1)}
 	s.queue <- p
@@ -391,5 +474,43 @@ func (s *Server) Refresh(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// Mutate applies one batch of edge mutations to the served graph: the
+// dequeuing executor updates its resident structures in place,
+// re-converges the PR/WCC vectors incrementally (bit-equal to a full
+// recompute on the post-batch graph), rebuilds the degradation
+// sketch, and swaps everything atomically. Concurrent queries are
+// never dropped — they serve from the previous epoch until the swap,
+// and executors replay the acknowledged batch log before serving.
+// Like Refresh, a mutate holds a bounded-queue slot but stays out of
+// the query outcome counters.
+func (s *Server) Mutate(ctx context.Context, batch graph.Batch) (*engines.MutationReport, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if batch == nil {
+		// Keep the maintenance marker non-nil so an empty batch still
+		// routes through maintainOn (a harmless vector re-swap), never
+		// through the query path.
+		batch = graph.Batch{}
+	}
+	if err := batch.Validate(s.csr.NumVertices, s.el.Weighted); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidBatch, err)
+	}
+	if !s.admit.tryReserve() {
+		return nil, fmt.Errorf("%w: mutate shed (queue full)", ErrOverloaded)
+	}
+	p := &pending{ctx: ctx, mutate: batch, seq: s.seq.Add(1), resC: make(chan Response, 1)}
+	s.queue <- p
+	select {
+	case resp := <-p.resC:
+		if resp.Status != StatusOK {
+			return nil, fmt.Errorf("mutate failed: %s", resp.Err)
+		}
+		return p.mutRep, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
 }

@@ -1,0 +1,164 @@
+// Streaming-study artifact: FIG_stream_study.csv tabulates incremental
+// PR/WCC maintenance against full recomputation across the batch
+// geometry (batch size x delete fraction), the figure the streaming
+// subsystem exists to produce. Each row is one mutation batch applied
+// through the GAP engine's Streamer hook: the incremental side pays
+// the modeled cost of patching the resident structures plus
+// re-converging from the previous vector; the recompute side pays a
+// rebuild plus a cold kernel run on the post-batch graph, costed on an
+// identically-configured fresh machine. The harness conformance-walls
+// the two bit-equal per batch, so the speedup column compares equally
+// correct answers. Everything downstream of (dataset, seed, schedule)
+// is modeled, wall-clock-free, and worker-count-independent, so the
+// CSV is bit-identical across runs and hosts and an exact-match diff
+// is a valid CI gate.
+//
+// `make streamfig` (EPG_WRITE_STREAMFIG=1) rewrites the artifact after
+// an intentional change; `make streamfig-check` (EPG_STREAMFIG_CHECK=1,
+// the stream-study-drift CI job) regenerates the rows and fails on any
+// byte difference — drift in the mutation replay, the incremental
+// maintainers, the trajectory memoization, or the cost model all
+// surface as a failing diff tied to the commit that caused them.
+package epg_test
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/hpcl-repro/epg/internal/core"
+	"github.com/hpcl-repro/epg/internal/engines"
+	"github.com/hpcl-repro/epg/internal/engines/all"
+	"github.com/hpcl-repro/epg/internal/harness"
+	"github.com/hpcl-repro/epg/internal/report"
+)
+
+const streamStudyFile = "FIG_stream_study.csv"
+
+// The pinned study geometry: kron-12 (the CI drift scale the sched
+// study also uses), four batches per configuration, batch sizes
+// spanning two orders of magnitude, and delete fractions from
+// insert-only to half-and-half.
+var (
+	streamStudyBatchSizes  = []int{16, 64, 256}
+	streamStudyDeleteFracs = []float64{0, 0.25, 0.5}
+	streamStudyAlgs        = []engines.Algorithm{engines.PageRank, engines.WCC}
+)
+
+// streamStudyRows regenerates the study with the pinned configuration.
+func streamStudyRows(t *testing.T) []report.StreamStudyRow {
+	t.Helper()
+	runner := harness.NewRunner(all.Registry())
+	el, err := harness.ResolveDataset("kron-12", harness.DatasetOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []report.StreamStudyRow
+	for _, alg := range streamStudyAlgs {
+		for _, bs := range streamStudyBatchSizes {
+			for _, df := range streamStudyDeleteFracs {
+				spec := core.Spec{
+					Dataset:   "kron-12",
+					Algorithm: alg,
+					Engines:   []string{"GAP"},
+					Threads:   8,
+					Roots:     1,
+					Seed:      7,
+					Mutations: &core.MutationSchedule{
+						Batches:    4,
+						BatchSize:  bs,
+						DeleteFrac: df,
+						Seed:       7,
+					},
+				}
+				results, err := runner.Run(spec, el)
+				if err != nil {
+					t.Fatalf("%s bs=%d df=%g: %v", alg, bs, df, err)
+				}
+				for _, r := range results {
+					if r.Batch == 0 {
+						continue // baseline trial, not a stream row
+					}
+					inc := r.MutateSec + r.MaintainSec
+					if inc <= 0 || r.RecomputeSec <= 0 {
+						t.Fatalf("%s bs=%d df=%g batch %d: non-positive modeled cost (inc=%g recompute=%g)",
+							alg, bs, df, r.Batch, inc, r.RecomputeSec)
+					}
+					rows = append(rows, report.StreamStudyRow{
+						Dataset:      r.Dataset,
+						Alg:          string(r.Algorithm),
+						BatchSize:    bs,
+						DeleteFrac:   df,
+						Batch:        r.Batch,
+						Iterations:   r.Iterations,
+						MutateSec:    r.MutateSec,
+						MaintainSec:  r.MaintainSec,
+						RecomputeSec: r.RecomputeSec,
+						Speedup:      r.RecomputeSec / inc,
+					})
+				}
+			}
+		}
+	}
+	return rows
+}
+
+// TestWriteStreamStudy rewrites FIG_stream_study.csv (gated: it is an
+// artifact writer, not a check; run via `make streamfig` after an
+// intentional streaming-path change).
+func TestWriteStreamStudy(t *testing.T) {
+	if os.Getenv("EPG_WRITE_STREAMFIG") == "" {
+		t.Skip("set EPG_WRITE_STREAMFIG=1 (make streamfig) to rewrite FIG_stream_study.csv")
+	}
+	rows := streamStudyRows(t)
+	f, err := os.Create(streamStudyFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := report.WriteStreamStudyCSV(f, rows); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d batch rows)", streamStudyFile, len(rows))
+}
+
+// TestStreamStudyDrift is the streaming drift gate (`make
+// streamfig-check`): the regenerated study must match the committed
+// artifact byte for byte. Any mismatch means a commit moved the
+// streaming path's observable behavior — batch generation, mutation
+// replay costs, incremental convergence, or the recompute reference —
+// without regenerating the artifact.
+func TestStreamStudyDrift(t *testing.T) {
+	if os.Getenv("EPG_STREAMFIG_CHECK") == "" {
+		t.Skip("set EPG_STREAMFIG_CHECK=1 (make streamfig-check) to run the stream-study drift gate")
+	}
+	committed, err := os.ReadFile(streamStudyFile)
+	if err != nil {
+		t.Fatalf("no committed %s (run `make streamfig` and commit it): %v", streamStudyFile, err)
+	}
+	rows := streamStudyRows(t)
+	var regenerated bytes.Buffer
+	if err := report.WriteStreamStudyCSV(&regenerated, rows); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(regenerated.Bytes(), committed) {
+		t.Logf("%s matches the regenerated study exactly (%d batch rows)", streamStudyFile, len(rows))
+		return
+	}
+	got := strings.Split(strings.TrimRight(regenerated.String(), "\n"), "\n")
+	want := strings.Split(strings.TrimRight(string(committed), "\n"), "\n")
+	if len(got) != len(want) {
+		t.Errorf("row count drifted: regenerated %d lines, committed %d", len(got), len(want))
+	}
+	shown := 0
+	for i := 0; i < len(got) && i < len(want) && shown < 5; i++ {
+		if got[i] != want[i] {
+			t.Errorf("line %d drifted:\n  committed:   %s\n  regenerated: %s", i+1, want[i], got[i])
+			shown++
+		}
+	}
+	t.Fatalf("%s drifted from the regenerated streaming study: a change moved the streaming "+
+		"path's behavior; if intentional, run `make streamfig` and commit the new artifact",
+		streamStudyFile)
+}
