@@ -1,0 +1,36 @@
+package gap
+
+import (
+	"testing"
+
+	"github.com/hpcl-repro/epg/internal/graph"
+)
+
+// Repro: edge inserted in batch 1 and deleted in batch 2, with one
+// IncrementalWCC over both batches. Net graph change is zero, but the
+// stale entry in wccAdds must not merge the components.
+func TestReproStaleAddWCC(t *testing.T) {
+	el := &graph.EdgeList{
+		NumVertices: 4,
+		Edges: []graph.Edge{
+			{Src: 0, Dst: 1},
+			{Src: 2, Dst: 3},
+		},
+	}
+	inst := load(t, New(), el, 2)
+	if _, err := inst.IncrementalWCC(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Mutate(graph.Batch{{Op: graph.MutInsert, Src: 1, Dst: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Mutate(graph.Batch{{Op: graph.MutDelete, Src: 1, Dst: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	wcc, err := inst.IncrementalWCC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := elFromCSR(inst.OutCSR(), false)
+	labelsEqual(t, wcc, freshWCC(t, post, 2), "stale-add")
+}
